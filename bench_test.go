@@ -1,0 +1,198 @@
+// Package pravega_bench hosts one testing.B benchmark per evaluation
+// figure of the paper (§5.2–§5.8). Each benchmark runs the corresponding
+// figure in Quick mode (trimmed sweeps) and reports the headline metrics
+// the paper plots as custom benchmark units, so `go test -bench=.` yields a
+// compact reproduction summary. The full sweeps (all points, all variants)
+// run via `go run ./cmd/pravega-bench -all`.
+package pravega_bench
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/figures"
+)
+
+// benchOptions returns trimmed figure options sized for testing.B runs.
+func benchOptions() figures.Options {
+	return figures.Options{
+		Scale:         16,
+		Quick:         true,
+		PointDuration: 1200 * time.Millisecond,
+		WarmUp:        500 * time.Millisecond,
+		Out:           io.Discard,
+	}
+}
+
+// reportSeries publishes one metric per series, labelled for readability.
+func reportSeries(b *testing.B, fig *figures.Figure, metric func(p figures.Point) (float64, string)) {
+	b.Helper()
+	for _, p := range fig.Points {
+		v, unit := metric(p)
+		b.ReportMetric(v, sanitize(p.Series)+"_"+unit)
+	}
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ' || r == '(' || r == ')' || r == ',':
+			// collapse
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkFig05Durability regenerates Fig. 5 (§5.2): write latency and
+// throughput for Pravega flush/no-flush vs Kafka flush/no-flush.
+func BenchmarkFig05Durability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Fig5(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig, func(p figures.Point) (float64, string) {
+			return p.Result.WriteLatency.P95 / 1e3, "wp95ms"
+		})
+	}
+}
+
+// BenchmarkFig06Batching regenerates Fig. 6 (§5.3): client batching
+// strategies.
+func BenchmarkFig06Batching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Fig6(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig, func(p figures.Point) (float64, string) {
+			return p.Result.WriteLatency.P95 / 1e3, "wp95ms"
+		})
+	}
+}
+
+// BenchmarkFig07LargeEvents regenerates Fig. 7 (§5.4): 10 KB events and
+// the LTS bottleneck / NoOp-LTS comparison.
+func BenchmarkFig07LargeEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Fig7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig, func(p figures.Point) (float64, string) {
+			return p.Result.MBPerSec, "MBps"
+		})
+	}
+}
+
+// BenchmarkFig08TailReads regenerates Fig. 8 (§5.5): end-to-end latency of
+// tail reads.
+func BenchmarkFig08TailReads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Fig8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig, func(p figures.Point) (float64, string) {
+			return p.Result.E2ELatency.P95 / 1e3, "e2ep95ms"
+		})
+	}
+}
+
+// BenchmarkFig09RoutingKeys regenerates Fig. 9 (§5.5): routing-key impact
+// on read performance.
+func BenchmarkFig09RoutingKeys(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Fig9(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig, func(p figures.Point) (float64, string) {
+			return p.Result.E2ELatency.P95 / 1e3, "e2ep95ms"
+		})
+	}
+}
+
+// BenchmarkFig10Parallelism regenerates Fig. 10 (§5.6): sustained 250 MB/s
+// across segment and writer counts.
+func BenchmarkFig10Parallelism(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Fig10(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig, func(p figures.Point) (float64, string) {
+			return p.Result.MBPerSec, "MBps"
+		})
+	}
+}
+
+// BenchmarkFig11MaxThroughput regenerates Fig. 11 (§5.6): closed-loop
+// maximum throughput at 10 vs 500 segments.
+func BenchmarkFig11MaxThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Fig11(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig, func(p figures.Point) (float64, string) {
+			return p.Result.MBPerSec, "MBps"
+		})
+	}
+}
+
+// BenchmarkFig12HistoricalReads regenerates Fig. 12 (§5.7): catch-up reads
+// from long-term storage.
+func BenchmarkFig12HistoricalReads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Fig12(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig, func(p figures.Point) (float64, string) {
+			return p.Result.ReadMBPerSec, "readMBps"
+		})
+	}
+}
+
+// BenchmarkAblations runs the design-choice ablation harness: the paper's
+// headline mechanisms (adaptive frame delay, pipelined client batching,
+// integrated tiering backpressure) each removed in isolation.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := figures.Ablations(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportSeries(b, fig, func(p figures.Point) (float64, string) {
+			return p.Result.WriteLatency.P95 / 1e3, "wp95ms"
+		})
+	}
+}
+
+// BenchmarkFig13AutoScaling regenerates Fig. 13 (§5.8): the auto-scaling
+// time series. The reported metric is the final segment count (the paper's
+// stream grows from 1 to several segments) and the last-sample p50 write
+// latency.
+func BenchmarkFig13AutoScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := figures.Fig13(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series.Samples) == 0 {
+			b.Fatal("no samples")
+		}
+		last := series.Samples[len(series.Samples)-1]
+		b.ReportMetric(float64(last.Segments), "final_segments")
+		b.ReportMetric(last.P50ms, "final_p50ms")
+		first := series.Samples[0]
+		b.ReportMetric(first.P50ms, "initial_p50ms")
+	}
+}

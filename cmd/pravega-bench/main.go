@@ -1,0 +1,75 @@
+// Command pravega-bench regenerates the figures of the paper's evaluation
+// (§5.2–§5.8) against this repository's Pravega implementation and its
+// Kafka-like and Pulsar-like baselines, all running over the same scaled
+// device profile.
+//
+// Usage:
+//
+//	pravega-bench -fig 5        # one figure (5..13)
+//	pravega-bench -all          # every figure
+//	pravega-bench -all -quick   # trimmed sweeps (a few minutes)
+//	pravega-bench -scale 32     # scale the device profile further down
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/figures"
+)
+
+func main() {
+	var (
+		fig      = flag.Int("fig", -1, "figure number to run (5..13; 0 = ablations)")
+		all      = flag.Bool("all", false, "run every figure")
+		quick    = flag.Bool("quick", false, "trimmed sweeps")
+		scale    = flag.Float64("scale", 16, "device/rate scale divisor")
+		duration = flag.Duration("point", 2*time.Second, "measured interval per sweep point")
+	)
+	flag.Parse()
+
+	opts := figures.Options{
+		Scale:         *scale,
+		Quick:         *quick,
+		PointDuration: *duration,
+		Out:           os.Stdout,
+	}
+
+	runners := map[int]func(figures.Options) error{
+		0:  func(o figures.Options) error { _, err := figures.Ablations(o); return err },
+		5:  func(o figures.Options) error { _, err := figures.Fig5(o); return err },
+		6:  func(o figures.Options) error { _, err := figures.Fig6(o); return err },
+		7:  func(o figures.Options) error { _, err := figures.Fig7(o); return err },
+		8:  func(o figures.Options) error { _, err := figures.Fig8(o); return err },
+		9:  func(o figures.Options) error { _, err := figures.Fig9(o); return err },
+		10: func(o figures.Options) error { _, err := figures.Fig10(o); return err },
+		11: func(o figures.Options) error { _, err := figures.Fig11(o); return err },
+		12: func(o figures.Options) error { _, err := figures.Fig12(o); return err },
+		13: func(o figures.Options) error { _, err := figures.Fig13(o); return err },
+	}
+
+	run := func(n int) {
+		start := time.Now()
+		fmt.Printf("--- running Fig%d ---\n", n)
+		if err := runners[n](opts); err != nil {
+			fmt.Fprintf(os.Stderr, "Fig%d failed: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- Fig%d done in %s ---\n", n, time.Since(start).Round(time.Second))
+	}
+
+	switch {
+	case *all:
+		for n := 5; n <= 13; n++ {
+			run(n)
+		}
+		run(0) // ablations
+	case *fig == 0, *fig >= 5 && *fig <= 13:
+		run(*fig)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

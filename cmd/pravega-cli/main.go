@@ -1,0 +1,182 @@
+// Command pravega-cli administers a pravega-server node over the wire
+// protocol and provides simple write/read utilities.
+//
+// Usage:
+//
+//	pravega-cli -addr localhost:9090 create-scope demo
+//	pravega-cli -addr localhost:9090 create-stream demo events 4
+//	pravega-cli -addr localhost:9090 segments demo events
+//	pravega-cli -addr localhost:9090 scale demo events <segment> <factor>
+//	pravega-cli -addr localhost:9090 write demo events key1 "hello world"
+//	pravega-cli -addr localhost:9090 tail demo events
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/controller"
+	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9090", "pravega-server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	conn, err := wire.Dial(*addr)
+	if err != nil {
+		log.Fatalf("pravega-cli: connecting: %v", err)
+	}
+	defer conn.Close()
+
+	switch args[0] {
+	case "create-scope":
+		need(args, 2)
+		must(conn.Call(wire.MsgCreateScope, wire.StreamReq{Scope: args[1]}))
+		fmt.Println("scope created")
+	case "create-stream":
+		need(args, 4)
+		segs, err := strconv.Atoi(args[3])
+		if err != nil {
+			log.Fatalf("pravega-cli: bad segment count %q", args[3])
+		}
+		must(conn.Call(wire.MsgCreateStream, wire.StreamReq{Scope: args[1], Stream: args[2], Segments: segs}))
+		fmt.Println("stream created")
+	case "segments":
+		need(args, 3)
+		rep := must(conn.Call(wire.MsgActiveSegments, wire.StreamReq{Scope: args[1], Stream: args[2]}))
+		var segs []controller.SegmentWithRange
+		if err := json.Unmarshal(rep.JSON, &segs); err != nil {
+			log.Fatalf("pravega-cli: decoding: %v", err)
+		}
+		for _, s := range segs {
+			fmt.Printf("segment %d  range %v  (%s)\n", s.ID.Number, s.KeyRange, s.ID.QualifiedName())
+		}
+	case "scale":
+		need(args, 5)
+		seg, _ := strconv.ParseInt(args[3], 10, 64)
+		factor, _ := strconv.Atoi(args[4])
+		must(conn.Call(wire.MsgScale, wire.StreamReq{Scope: args[1], Stream: args[2], SealSegment: seg, Factor: factor}))
+		fmt.Println("scaled")
+	case "seal-stream":
+		need(args, 3)
+		must(conn.Call(wire.MsgSealStream, wire.StreamReq{Scope: args[1], Stream: args[2]}))
+		fmt.Println("sealed")
+	case "write":
+		need(args, 5)
+		writeEvent(conn, args[1], args[2], args[3], []byte(args[4]))
+	case "tail":
+		need(args, 3)
+		tail(conn, args[1], args[2])
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) < n {
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: pravega-cli [-addr host:port] <command>
+commands:
+  create-scope <scope>
+  create-stream <scope> <stream> <segments>
+  segments <scope> <stream>
+  scale <scope> <stream> <segment> <factor>
+  seal-stream <scope> <stream>
+  write <scope> <stream> <key> <event>
+  tail <scope> <stream>`)
+	os.Exit(2)
+}
+
+func must(rep wire.Reply, err error) wire.Reply {
+	if err != nil {
+		log.Fatalf("pravega-cli: %v", err)
+	}
+	return rep
+}
+
+// writeEvent routes the event by key exactly as the client library does and
+// appends one length-prefixed frame.
+func writeEvent(conn *wire.Conn, scope, stream, key string, data []byte) {
+	seg := segmentFor(conn, scope, stream, key)
+	var frame []byte
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	frame = append(frame, hdr[:]...)
+	frame = append(frame, data...)
+	rep := must(conn.Call(wire.MsgAppend, wire.AppendReq{
+		Segment:    seg,
+		Data:       frame,
+		WriterID:   fmt.Sprintf("cli-%d", os.Getpid()),
+		EventNum:   time.Now().UnixNano(),
+		EventCount: 1,
+		CondOffset: -1,
+	}))
+	fmt.Printf("written to %s at offset %d\n", seg, rep.Offset)
+}
+
+func segmentFor(conn *wire.Conn, scope, stream, key string) string {
+	rep := must(conn.Call(wire.MsgActiveSegments, wire.StreamReq{Scope: scope, Stream: stream}))
+	var segs []controller.SegmentWithRange
+	if err := json.Unmarshal(rep.JSON, &segs); err != nil {
+		log.Fatalf("pravega-cli: decoding: %v", err)
+	}
+	h := keyspace.HashKey(key)
+	for _, s := range segs {
+		if s.KeyRange.Contains(h) {
+			return s.ID.QualifiedName()
+		}
+	}
+	log.Fatalf("pravega-cli: no active segment covers key %q", key)
+	return ""
+}
+
+// tail follows every active segment from its current end and prints events.
+func tail(conn *wire.Conn, scope, stream string) {
+	rep := must(conn.Call(wire.MsgActiveSegments, wire.StreamReq{Scope: scope, Stream: stream}))
+	var segs []controller.SegmentWithRange
+	if err := json.Unmarshal(rep.JSON, &segs); err != nil {
+		log.Fatalf("pravega-cli: decoding: %v", err)
+	}
+	offsets := make(map[string]int64)
+	for _, s := range segs {
+		info := must(conn.Call(wire.MsgGetInfo, wire.SegmentReq{Segment: s.ID.QualifiedName()}))
+		var si struct{ Length int64 }
+		_ = json.Unmarshal(info.JSON, &si)
+		offsets[s.ID.QualifiedName()] = si.Length
+	}
+	fmt.Println("tailing (ctrl-c to stop)...")
+	for {
+		for qn, off := range offsets {
+			rep, err := conn.Call(wire.MsgRead, wire.ReadReq{Segment: qn, Offset: off, MaxBytes: 1 << 16, WaitMS: 250})
+			if err != nil {
+				log.Fatalf("pravega-cli: read: %v", err)
+			}
+			buf := rep.Data
+			for len(buf) >= 4 {
+				n := binary.BigEndian.Uint32(buf)
+				if len(buf) < int(4+n) {
+					break
+				}
+				fmt.Printf("[%s@%d] %s\n", qn, off, buf[4:4+n])
+				off += int64(4 + n)
+				buf = buf[4+n:]
+			}
+			offsets[qn] = off
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/pravega-go/pravega
+
+go 1.22

@@ -1,0 +1,352 @@
+package kafka
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/sim"
+)
+
+// ProducerConfig mirrors the client knobs the paper sweeps (§5.1, §5.3):
+// batch.size, linger.ms, and the in-flight cap.
+type ProducerConfig struct {
+	Topic string
+	// BatchSize is batch.size in bytes (default 128 KiB, the paper's
+	// default configuration).
+	BatchSize int
+	// Linger is linger.ms (default 1 ms).
+	Linger time.Duration
+	// MaxInFlight bounds concurrent produce requests per broker
+	// connection (Kafka's max.in.flight.requests.per.connection; default 5).
+	MaxInFlight int
+	// Profile shapes the client links (nil = instantaneous).
+	Profile *sim.Profile
+}
+
+func (c *ProducerConfig) defaults() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128 << 10
+	}
+	if c.Linger <= 0 {
+		c.Linger = time.Millisecond
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 5
+	}
+}
+
+// SendFuture resolves when the message is acknowledged.
+type SendFuture struct {
+	ch  chan struct{}
+	err error
+}
+
+// Wait blocks for the acknowledgement.
+func (f *SendFuture) Wait() error {
+	<-f.ch
+	return f.err
+}
+
+// Done exposes the completion channel.
+func (f *SendFuture) Done() <-chan struct{} { return f.ch }
+
+// Err returns the result after Done.
+func (f *SendFuture) Err() error { return f.err }
+
+type pendingMsg struct {
+	size   int
+	future *SendFuture
+}
+
+// accumulator batches messages for one partition (client-side batching —
+// the design the paper contrasts with Pravega's server-side collection).
+type accumulator struct {
+	p       *partition
+	mu      sync.Mutex
+	batch   []pendingMsg
+	bytes   int
+	oldest  time.Time
+	pending bool // queued for send
+}
+
+// Producer is the Kafka-like client.
+type Producer struct {
+	cfg  ProducerConfig
+	cl   *Cluster
+	nP   int
+	accs []*accumulator
+
+	// Per-broker sender state: ready accumulators and the in-flight cap.
+	sendMu    sync.Mutex
+	readyQ    map[int][]*accumulator // broker -> queue
+	inFlight  map[int]int
+	closeCh   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	stickyMu sync.Mutex
+	stickyP  int // sticky partition for key-less sends
+	stickyN  int
+}
+
+// NewProducer creates a producer for a topic.
+func (cl *Cluster) NewProducer(cfg ProducerConfig) (*Producer, error) {
+	cfg.defaults()
+	n, err := cl.Partitions(cfg.Topic)
+	if err != nil {
+		return nil, err
+	}
+	p := &Producer{
+		cfg:      cfg,
+		cl:       cl,
+		nP:       n,
+		readyQ:   make(map[int][]*accumulator),
+		inFlight: make(map[int]int),
+		closeCh:  make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		part, err := cl.partition(cfg.Topic, i)
+		if err != nil {
+			return nil, err
+		}
+		p.accs = append(p.accs, &accumulator{p: part})
+	}
+	p.wg.Add(1)
+	go p.lingerLoop()
+	return p, nil
+}
+
+// partitionFor hashes a key to a partition; empty keys use the sticky
+// partitioner (all key-less messages of a linger window go to one
+// partition — the behaviour behind Kafka's "no routing keys" advantage,
+// §5.5).
+func (p *Producer) partitionFor(key string) int {
+	if key == "" {
+		p.stickyMu.Lock()
+		defer p.stickyMu.Unlock()
+		p.stickyN++
+		if p.stickyN >= 512 {
+			p.stickyN = 0
+			p.stickyP = (p.stickyP + 1) % p.nP
+		}
+		return p.stickyP
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(p.nP))
+}
+
+// Send enqueues one message and returns its future.
+func (p *Producer) Send(key string, size int) *SendFuture {
+	f := &SendFuture{ch: make(chan struct{})}
+	acc := p.accs[p.partitionFor(key)]
+	acc.mu.Lock()
+	if len(acc.batch) == 0 {
+		acc.oldest = time.Now()
+	}
+	acc.batch = append(acc.batch, pendingMsg{size: size, future: f})
+	acc.bytes += size
+	full := acc.bytes >= p.cfg.BatchSize
+	queued := acc.pending
+	if full && !queued {
+		acc.pending = true
+	}
+	acc.mu.Unlock()
+	if full && !queued {
+		p.enqueue(acc)
+	}
+	return f
+}
+
+// lingerLoop queues accumulators whose oldest message exceeded linger.ms.
+func (p *Producer) lingerLoop() {
+	defer p.wg.Done()
+	tick := p.cfg.Linger / 4
+	if tick < 200*time.Microsecond {
+		tick = 200 * time.Microsecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.closeCh:
+			return
+		case <-ticker.C:
+			for _, acc := range p.accs {
+				acc.mu.Lock()
+				due := len(acc.batch) > 0 && !acc.pending && time.Since(acc.oldest) >= p.cfg.Linger
+				if due {
+					acc.pending = true
+				}
+				acc.mu.Unlock()
+				if due {
+					p.enqueue(acc)
+				}
+			}
+		}
+	}
+}
+
+// enqueue adds an accumulator to its leader broker's ready queue and kicks
+// the sender.
+func (p *Producer) enqueue(acc *accumulator) {
+	broker := acc.p.leader
+	p.sendMu.Lock()
+	p.readyQ[broker] = append(p.readyQ[broker], acc)
+	p.trySendLocked(broker)
+	p.sendMu.Unlock()
+}
+
+// trySendLocked ships queued batches while in-flight slots remain
+// (max.in.flight.requests.per.connection).
+func (p *Producer) trySendLocked(broker int) {
+	for p.inFlight[broker] < p.cfg.MaxInFlight && len(p.readyQ[broker]) > 0 {
+		acc := p.readyQ[broker][0]
+		p.readyQ[broker] = p.readyQ[broker][1:]
+
+		acc.mu.Lock()
+		batch := acc.batch
+		acc.batch = nil
+		acc.bytes = 0
+		acc.pending = false
+		acc.mu.Unlock()
+		if len(batch) == 0 {
+			continue
+		}
+		p.inFlight[broker]++
+		go p.sendBatch(broker, acc, batch)
+	}
+}
+
+// sendBatch performs one produce request.
+func (p *Producer) sendBatch(broker int, acc *accumulator, batch []pendingMsg) {
+	if p.cfg.Profile != nil {
+		var total int
+		for _, m := range batch {
+			total += m.size
+		}
+		// Request serialization + propagation on the client uplink.
+		lat := p.cfg.Profile.ClientLink.Latency
+		if bw := p.cfg.Profile.ClientLink.Bandwidth; bw > 0 {
+			lat += time.Duration(float64(total) / bw * float64(time.Second))
+		}
+		time.Sleep(lat)
+	}
+	sizes := make([]int, len(batch))
+	for i, m := range batch {
+		sizes[i] = m.size
+	}
+	_, err := p.cl.produce(acc.p, sizes, time.Now())
+	if p.cfg.Profile != nil {
+		time.Sleep(p.cfg.Profile.ClientLink.Latency)
+	}
+	for _, m := range batch {
+		m.future.err = err
+		close(m.future.ch)
+	}
+	p.sendMu.Lock()
+	p.inFlight[broker]--
+	p.trySendLocked(broker)
+	p.sendMu.Unlock()
+}
+
+// Flush sends any open batches and waits for in-flight requests.
+func (p *Producer) Flush() {
+	var futures []*SendFuture
+	for _, acc := range p.accs {
+		acc.mu.Lock()
+		due := len(acc.batch) > 0 && !acc.pending
+		if due {
+			acc.pending = true
+		}
+		for _, m := range acc.batch {
+			futures = append(futures, m.future)
+		}
+		acc.mu.Unlock()
+		if due {
+			p.enqueue(acc)
+		}
+	}
+	for _, f := range futures {
+		<-f.ch
+	}
+}
+
+// Close flushes and stops the producer.
+func (p *Producer) Close() {
+	p.Flush()
+	p.closeOnce.Do(func() { close(p.closeCh) })
+	p.wg.Wait()
+}
+
+// Consumer pulls messages from a set of partitions (one consumer thread
+// per partition in the paper's workloads).
+type Consumer struct {
+	cl      *Cluster
+	topic   string
+	parts   []int
+	offsets map[int]int64
+	profile *sim.Profile
+}
+
+// NewConsumer creates a consumer over the given partitions (nil = all).
+func (cl *Cluster) NewConsumer(topic string, parts []int, profile *sim.Profile) (*Consumer, error) {
+	n, err := cl.Partitions(topic)
+	if err != nil {
+		return nil, err
+	}
+	if parts == nil {
+		for i := 0; i < n; i++ {
+			parts = append(parts, i)
+		}
+	}
+	c := &Consumer{cl: cl, topic: topic, parts: parts, offsets: make(map[int]int64), profile: profile}
+	return c, nil
+}
+
+// Poll fetches available messages across the consumer's partitions,
+// waiting up to maxWait when everything is at the tail.
+func (c *Consumer) Poll(maxBytes int, maxWait time.Duration) ([]FetchedMessage, error) {
+	var out []FetchedMessage
+	per := maxBytes / len(c.parts)
+	if per <= 0 {
+		per = maxBytes
+	}
+	for _, idx := range c.parts {
+		p, err := c.cl.partition(c.topic, idx)
+		if err != nil {
+			return nil, err
+		}
+		if c.profile != nil {
+			time.Sleep(c.profile.ClientLink.Latency)
+		}
+		msgs, err := c.cl.fetch(p, c.offsets[idx], per, 0)
+		if err != nil {
+			return nil, err
+		}
+		if c.profile != nil {
+			time.Sleep(c.profile.ClientLink.Latency)
+		}
+		if len(msgs) > 0 {
+			c.offsets[idx] = msgs[len(msgs)-1].Offset + 1
+			out = append(out, msgs...)
+		}
+	}
+	if len(out) == 0 && maxWait > 0 {
+		// Long-poll the first partition briefly to avoid a busy loop.
+		p, err := c.cl.partition(c.topic, c.parts[0])
+		if err != nil {
+			return nil, err
+		}
+		msgs, err := c.cl.fetch(p, c.offsets[c.parts[0]], per, maxWait)
+		if err != nil {
+			return nil, err
+		}
+		if len(msgs) > 0 {
+			c.offsets[c.parts[0]] = msgs[len(msgs)-1].Offset + 1
+			out = append(out, msgs...)
+		}
+	}
+	return out, nil
+}

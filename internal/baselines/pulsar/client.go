@@ -1,0 +1,353 @@
+package pulsar
+
+import (
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/sim"
+)
+
+// ProducerConfig mirrors the Pulsar client knobs the paper sweeps (§5.3):
+// batching on/off with time/size bounds and the pending-message cap.
+type ProducerConfig struct {
+	Topic string
+	// Batching enables client-side batching; without it every message is
+	// its own entry (the latency-oriented configuration of Fig. 6a).
+	Batching bool
+	// BatchSize bounds a batch (default 128 KiB, the paper's default).
+	BatchSize int
+	// BatchDelay is the batching time bound (default 1 ms).
+	BatchDelay time.Duration
+	// MaxPending bounds outstanding un-acknowledged messages
+	// (maxPendingMessages; default 1000).
+	MaxPending int
+	// Profile shapes client links.
+	Profile *sim.Profile
+}
+
+func (c *ProducerConfig) defaults() {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 128 << 10
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = time.Millisecond
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 1000
+	}
+}
+
+// SendFuture resolves when a message is acknowledged.
+type SendFuture struct {
+	ch  chan struct{}
+	err error
+}
+
+// Wait blocks for the acknowledgement.
+func (f *SendFuture) Wait() error {
+	<-f.ch
+	return f.err
+}
+
+// Done exposes the completion channel.
+func (f *SendFuture) Done() <-chan struct{} { return f.ch }
+
+// Err returns the result after Done.
+func (f *SendFuture) Err() error { return f.err }
+
+type pendingMsg struct {
+	size   int
+	future *SendFuture
+}
+
+// accumulator batches messages for one partition.
+type accumulator struct {
+	p      *partition
+	mu     sync.Mutex
+	batch  []pendingMsg
+	bytes  int
+	oldest time.Time
+	queued bool
+}
+
+// Producer is the Pulsar-like client.
+type Producer struct {
+	cfg  ProducerConfig
+	cl   *Cluster
+	nP   int
+	accs []*accumulator
+
+	pendingSem chan struct{} // maxPendingMessages backpressure
+
+	closeCh   chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	rrMu sync.Mutex
+	rr   int
+}
+
+// NewProducer creates a producer.
+func (cl *Cluster) NewProducer(cfg ProducerConfig) (*Producer, error) {
+	cfg.defaults()
+	n, err := cl.Partitions(cfg.Topic)
+	if err != nil {
+		return nil, err
+	}
+	p := &Producer{
+		cfg:        cfg,
+		cl:         cl,
+		nP:         n,
+		pendingSem: make(chan struct{}, cfg.MaxPending),
+		closeCh:    make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		part, err := cl.partition(cfg.Topic, i)
+		if err != nil {
+			return nil, err
+		}
+		p.accs = append(p.accs, &accumulator{p: part})
+	}
+	if cfg.Batching {
+		p.wg.Add(1)
+		go p.batchTimerLoop()
+	}
+	return p, nil
+}
+
+// partitionFor hashes the key; empty keys round-robin (no per-key order).
+func (p *Producer) partitionFor(key string) int {
+	if key == "" {
+		p.rrMu.Lock()
+		defer p.rrMu.Unlock()
+		p.rr++
+		return p.rr % p.nP
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(p.nP))
+}
+
+// Send enqueues a message. It blocks when maxPendingMessages is reached
+// (the client-side backpressure that the broker itself does not provide).
+func (p *Producer) Send(key string, size int) *SendFuture {
+	f := &SendFuture{ch: make(chan struct{})}
+	p.pendingSem <- struct{}{}
+	acc := p.accs[p.partitionFor(key)]
+	if !p.cfg.Batching {
+		go p.sendEntry(acc, []pendingMsg{{size: size, future: f}})
+		return f
+	}
+	acc.mu.Lock()
+	if len(acc.batch) == 0 {
+		acc.oldest = time.Now()
+	}
+	acc.batch = append(acc.batch, pendingMsg{size: size, future: f})
+	acc.bytes += size
+	var ship []pendingMsg
+	if acc.bytes >= p.cfg.BatchSize {
+		ship = acc.batch
+		acc.batch, acc.bytes = nil, 0
+	}
+	acc.mu.Unlock()
+	if ship != nil {
+		go p.sendEntry(acc, ship)
+	}
+	return f
+}
+
+// batchTimerLoop flushes batches older than BatchDelay.
+func (p *Producer) batchTimerLoop() {
+	defer p.wg.Done()
+	tick := p.cfg.BatchDelay / 4
+	if tick < 200*time.Microsecond {
+		tick = 200 * time.Microsecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.closeCh:
+			return
+		case <-ticker.C:
+			for _, acc := range p.accs {
+				acc.mu.Lock()
+				var ship []pendingMsg
+				if len(acc.batch) > 0 && time.Since(acc.oldest) >= p.cfg.BatchDelay {
+					ship = acc.batch
+					acc.batch, acc.bytes = nil, 0
+				}
+				acc.mu.Unlock()
+				if ship != nil {
+					go p.sendEntry(acc, ship)
+				}
+			}
+		}
+	}
+}
+
+// sendEntry ships one entry (batch) to the broker.
+func (p *Producer) sendEntry(acc *accumulator, msgs []pendingMsg) {
+	var total int
+	for _, m := range msgs {
+		total += m.size
+	}
+	if p.cfg.Profile != nil {
+		lat := p.cfg.Profile.ClientLink.Latency
+		if bw := p.cfg.Profile.ClientLink.Bandwidth; bw > 0 {
+			lat += time.Duration(float64(total) / bw * float64(time.Second))
+		}
+		time.Sleep(lat)
+	}
+	sizes := make([]int, len(msgs))
+	for i, m := range msgs {
+		sizes[i] = m.size
+	}
+	err := p.cl.produce(acc.p, sizes, time.Now())
+	if p.cfg.Profile != nil {
+		time.Sleep(p.cfg.Profile.ClientLink.Latency)
+	}
+	for _, m := range msgs {
+		m.future.err = err
+		close(m.future.ch)
+		<-p.pendingSem
+	}
+}
+
+// Flush ships open batches and waits for acknowledgements.
+func (p *Producer) Flush() {
+	var futures []*SendFuture
+	for _, acc := range p.accs {
+		acc.mu.Lock()
+		ship := acc.batch
+		acc.batch, acc.bytes = nil, 0
+		for _, m := range ship {
+			futures = append(futures, m.future)
+		}
+		acc.mu.Unlock()
+		if len(ship) > 0 {
+			go p.sendEntry(acc, ship)
+		}
+	}
+	for _, f := range futures {
+		<-f.ch
+	}
+	// Drain the pending semaphore (all outstanding sends acknowledged).
+	for i := 0; i < cap(p.pendingSem); i++ {
+		p.pendingSem <- struct{}{}
+	}
+	for i := 0; i < cap(p.pendingSem); i++ {
+		<-p.pendingSem
+	}
+}
+
+// Close flushes and stops the producer.
+func (p *Producer) Close() {
+	p.Flush()
+	p.closeOnce.Do(func() { close(p.closeCh) })
+	p.wg.Wait()
+}
+
+// FetchedMessage is one consumed message.
+type FetchedMessage struct {
+	Offset   int64
+	Size     int
+	Produced time.Time
+}
+
+// Consumer receives dispatched messages from a set of partitions.
+type Consumer struct {
+	cl      *Cluster
+	topic   string
+	parts   []int
+	offsets map[int]int64
+	profile *sim.Profile
+	tick    time.Duration
+}
+
+// NewConsumer creates a consumer over the given partitions (nil = all).
+func (cl *Cluster) NewConsumer(topic string, parts []int, profile *sim.Profile) (*Consumer, error) {
+	n, err := cl.Partitions(topic)
+	if err != nil {
+		return nil, err
+	}
+	if parts == nil {
+		for i := 0; i < n; i++ {
+			parts = append(parts, i)
+		}
+	}
+	return &Consumer{
+		cl: cl, topic: topic, parts: parts,
+		offsets: make(map[int]int64),
+		profile: profile,
+		tick:    cl.cfg.DispatcherTick,
+	}, nil
+}
+
+// Poll receives available messages. Tail dispatch pays the dispatcher tick
+// (Fig. 8's latency floor); catch-up reads are additionally paced by the
+// per-partition sequential read path (Fig. 12).
+func (c *Consumer) Poll(maxBytes int, maxWait time.Duration) ([]FetchedMessage, error) {
+	// Dispatcher scheduling delay.
+	time.Sleep(c.tick)
+	var out []FetchedMessage
+	per := maxBytes / len(c.parts)
+	if per <= 0 {
+		per = maxBytes
+	}
+	for _, idx := range c.parts {
+		p, err := c.cl.partition(c.topic, idx)
+		if err != nil {
+			return nil, err
+		}
+		if c.profile != nil {
+			time.Sleep(c.profile.ClientLink.Latency)
+		}
+		msgs, catchupBytes := c.fetch(p, idx, per)
+		if catchupBytes > 0 {
+			// Sequential per-partition catch-up pacing (broker read path +
+			// offload index + LTS range reads).
+			p.catchup.Take(catchupBytes)
+		}
+		if c.profile != nil {
+			time.Sleep(c.profile.ClientLink.Latency)
+		}
+		out = append(out, msgs...)
+	}
+	if len(out) == 0 && maxWait > 0 {
+		time.Sleep(maxWait)
+	}
+	return out, nil
+}
+
+// fetch pulls messages for one partition, classifying catch-up bytes.
+func (c *Consumer) fetch(p *partition, idx, maxBytes int) ([]FetchedMessage, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	off := c.offsets[idx]
+	if off >= p.nextOff {
+		return nil, 0
+	}
+	first := p.nextOff - int64(len(p.records))
+	if off < first {
+		off = first
+	}
+	var out []FetchedMessage
+	bytes, catchup := 0, 0
+	// Messages more than one dispatch window behind the tail count as
+	// catch-up (served from BK/LTS rather than the broker cache).
+	tailWindow := int64(256)
+	for i := int(off - first); i < len(p.records) && bytes < maxBytes; i++ {
+		r := p.records[i]
+		out = append(out, FetchedMessage{Offset: r.offset, Size: r.size, Produced: r.produced})
+		bytes += r.size
+		if p.nextOff-r.offset > tailWindow {
+			catchup += r.size
+		}
+	}
+	if len(out) > 0 {
+		c.offsets[idx] = out[len(out)-1].Offset + 1
+	}
+	return out, catchup
+}

@@ -1,0 +1,210 @@
+package pulsar
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/lts"
+	"github.com/pravega-go/pravega/internal/sim"
+)
+
+func newTestCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestTopicLifecycle(t *testing.T) {
+	cl := newTestCluster(t, ClusterConfig{})
+	if err := cl.CreateTopic("t", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CreateTopic("t", 3); !errors.Is(err, ErrTopicExists) {
+		t.Fatalf("duplicate topic: %v", err)
+	}
+	n, err := cl.Partitions("t")
+	if err != nil || n != 3 {
+		t.Fatalf("Partitions = %d, %v", n, err)
+	}
+	if _, err := cl.Partitions("nope"); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("missing topic: %v", err)
+	}
+}
+
+func TestProduceConsumeRoundTrip(t *testing.T) {
+	cl := newTestCluster(t, ClusterConfig{DispatcherTick: time.Millisecond})
+	if err := cl.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cl.NewProducer(ProducerConfig{Topic: "t", Batching: true, BatchDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	var futures []*SendFuture
+	for i := 0; i < n; i++ {
+		futures = append(futures, p.Send("k", 64))
+	}
+	for i, f := range futures {
+		if err := f.Wait(); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	p.Close()
+
+	c, err := cl.NewConsumer("t", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < n && time.Now().Before(deadline) {
+		msgs, err := c.Poll(1<<20, 20*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += len(msgs)
+	}
+	if got != n {
+		t.Fatalf("consumed %d of %d", got, n)
+	}
+}
+
+func TestNoBatchingSendsIndividually(t *testing.T) {
+	cl := newTestCluster(t, ClusterConfig{DispatcherTick: time.Millisecond})
+	if err := cl.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cl.NewProducer(ProducerConfig{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Send("k", 10).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := cl.partition("t", 0)
+	pt.mu.Lock()
+	records := len(pt.records)
+	pt.mu.Unlock()
+	if records != 1 {
+		t.Fatalf("records = %d", records)
+	}
+}
+
+func TestBrokerCrashOnMemoryLimit(t *testing.T) {
+	// A tiny memory limit plus an LTS that blocks journal-speed acks
+	// forces the un-acked buffer over the limit: the broker crashes and
+	// producers see ErrBrokerCrash — Fig. 10b's instability.
+	prof := sim.AWSProfile(1)
+	prof.Disk.SyncLatency = 200 * time.Millisecond // very slow journal
+	cl := newTestCluster(t, ClusterConfig{
+		Brokers:          3,
+		Profile:          &prof,
+		MemoryLimitBytes: 10_000,
+	})
+	if err := cl.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cl.NewProducer(ProducerConfig{Topic: "t", MaxPending: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	var futures []*SendFuture
+	for i := 0; i < 64; i++ {
+		futures = append(futures, p.Send("k", 1000))
+	}
+	crashed := false
+	for _, f := range futures {
+		if err := f.Wait(); errors.Is(err, ErrBrokerCrash) {
+			crashed = true
+		}
+	}
+	if !crashed || !cl.Crashed() {
+		t.Fatal("broker never crashed despite exceeding the memory limit")
+	}
+}
+
+func TestOffloaderMovesRolledLedgers(t *testing.T) {
+	store := lts.NewMemory()
+	cl := newTestCluster(t, ClusterConfig{
+		Tiering:               true,
+		LTS:                   store,
+		OffloadThresholdBytes: 1000,
+		DispatcherTick:        time.Millisecond,
+	})
+	if err := cl.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cl.NewProducer(ProducerConfig{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := p.Send("k", 200).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for store.ChunkCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if store.ChunkCount() == 0 {
+		t.Fatal("no ledgers offloaded to LTS")
+	}
+	if backlog := cl.OffloadBacklog("t"); backlog < 0 {
+		t.Fatalf("backlog = %d", backlog)
+	}
+}
+
+func TestDispatcherTickDelaysTailReads(t *testing.T) {
+	cl := newTestCluster(t, ClusterConfig{DispatcherTick: 30 * time.Millisecond})
+	if err := cl.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cl.NewProducer(ProducerConfig{Topic: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Send("k", 10).Wait(); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := cl.NewConsumer("t", nil, nil)
+	start := time.Now()
+	msgs, err := c.Poll(1<<20, 0)
+	if err != nil || len(msgs) != 1 {
+		t.Fatalf("Poll = %d, %v", len(msgs), err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("dispatcher tick not applied to the consumer path")
+	}
+}
+
+func TestMaxPendingBackpressure(t *testing.T) {
+	prof := sim.AWSProfile(1)
+	prof.Disk.SyncLatency = 20 * time.Millisecond
+	cl := newTestCluster(t, ClusterConfig{Brokers: 3, Profile: &prof})
+	if err := cl.CreateTopic("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := cl.NewProducer(ProducerConfig{Topic: "t", MaxPending: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	for i := 0; i < 12; i++ {
+		p.Send("k", 10) // beyond 4 outstanding, Send must block
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("maxPendingMessages did not backpressure the producer")
+	}
+}

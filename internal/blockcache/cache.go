@@ -1,0 +1,409 @@
+// Package blockcache implements Pravega's append-friendly in-memory cache
+// (§4.2, Fig. 4). The cache is divided into equal-sized blocks addressed by
+// a 32-bit pointer; blocks are daisy-chained backwards to form entries, and
+// an entry's address is the address of its *last* block so appends locate
+// the write position in O(1). Blocks live in pre-allocated buffers; each
+// buffer keeps its own free-block chain (a small concurrency domain), and a
+// queue of buffers with availability serves allocations across buffers.
+package blockcache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by the cache.
+var (
+	ErrCacheFull    = errors.New("blockcache: cache is full")
+	ErrBadAddress   = errors.New("blockcache: invalid address")
+	ErrEntryDeleted = errors.New("blockcache: entry deleted")
+)
+
+// Address is a 32-bit block pointer. The zero value is the nil address.
+type Address uint32
+
+// NilAddress marks the absence of a block.
+const NilAddress Address = 0
+
+// Config sizes the cache.
+type Config struct {
+	// BlockSize is the size of one cache block (default 4 KiB).
+	BlockSize int
+	// BlocksPerBuffer is the number of blocks in one pre-allocated buffer
+	// (default 512, i.e. 2 MiB buffers as in the paper's example).
+	BlocksPerBuffer int
+	// MaxBuffers caps total memory at BlockSize×BlocksPerBuffer×MaxBuffers.
+	MaxBuffers int
+}
+
+func (c *Config) defaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if c.BlocksPerBuffer <= 0 {
+		c.BlocksPerBuffer = 512
+	}
+	if c.MaxBuffers <= 0 {
+		c.MaxBuffers = 64
+	}
+}
+
+// blockMeta mirrors the tabular metadata of Fig. 4.
+type blockMeta struct {
+	used   bool
+	length int32   // bytes used within the block
+	prev   Address // previous block in the entry chain (NilAddress = first)
+	next   int32   // next free block index within the buffer (-1 = none)
+}
+
+// buffer is one contiguous pre-allocated region with a local free list.
+type buffer struct {
+	mu        sync.Mutex
+	data      []byte
+	meta      []blockMeta
+	freeHead  int32 // index of first free block, -1 when exhausted
+	freeCount int
+}
+
+// Cache is safe for concurrent use. Entries are identified by the Address
+// returned from Insert/Append; appending returns a new address whenever the
+// chain grows.
+type Cache struct {
+	cfg Config
+
+	mu        sync.Mutex
+	buffers   []*buffer
+	avail     []int // indices of buffers with free blocks (FIFO queue)
+	availSet  []bool
+	usedBytes int64
+}
+
+// New creates a cache.
+func New(cfg Config) *Cache {
+	cfg.defaults()
+	return &Cache{cfg: cfg, availSet: make([]bool, 0, cfg.MaxBuffers)}
+}
+
+// addressOf encodes (buffer, block) into a non-nil address.
+func (c *Cache) addressOf(bufIdx, blockIdx int) Address {
+	return Address(uint32(bufIdx)*uint32(c.cfg.BlocksPerBuffer) + uint32(blockIdx) + 1)
+}
+
+// locate decodes an address.
+func (c *Cache) locate(a Address) (bufIdx, blockIdx int, err error) {
+	if a == NilAddress {
+		return 0, 0, ErrBadAddress
+	}
+	v := uint32(a) - 1
+	bufIdx = int(v) / c.cfg.BlocksPerBuffer
+	blockIdx = int(v) % c.cfg.BlocksPerBuffer
+	c.mu.Lock()
+	n := len(c.buffers)
+	c.mu.Unlock()
+	if bufIdx >= n {
+		return 0, 0, ErrBadAddress
+	}
+	return bufIdx, blockIdx, nil
+}
+
+func newBuffer(cfg Config) *buffer {
+	b := &buffer{
+		data:      make([]byte, cfg.BlockSize*cfg.BlocksPerBuffer),
+		meta:      make([]blockMeta, cfg.BlocksPerBuffer),
+		freeCount: cfg.BlocksPerBuffer,
+	}
+	for i := range b.meta {
+		b.meta[i].next = int32(i + 1)
+	}
+	b.meta[len(b.meta)-1].next = -1
+	b.freeHead = 0
+	return b
+}
+
+// allocBlock finds a free block, preferring buffers already in the
+// availability queue, growing the buffer set up to MaxBuffers.
+func (c *Cache) allocBlock() (bufIdx, blockIdx int, err error) {
+	c.mu.Lock()
+	for {
+		if len(c.avail) == 0 {
+			if len(c.buffers) >= c.cfg.MaxBuffers {
+				c.mu.Unlock()
+				return 0, 0, ErrCacheFull
+			}
+			c.buffers = append(c.buffers, newBuffer(c.cfg))
+			c.availSet = append(c.availSet, true)
+			c.avail = append(c.avail, len(c.buffers)-1)
+		}
+		bi := c.avail[0]
+		b := c.buffers[bi]
+		c.mu.Unlock()
+
+		b.mu.Lock()
+		if b.freeHead < 0 {
+			b.mu.Unlock()
+			c.mu.Lock()
+			// Buffer raced to exhaustion; drop it from the queue and retry.
+			if len(c.avail) > 0 && c.avail[0] == bi {
+				c.avail = c.avail[1:]
+				c.availSet[bi] = false
+			}
+			continue
+		}
+		idx := b.freeHead
+		b.freeHead = b.meta[idx].next
+		b.freeCount--
+		exhausted := b.freeHead < 0
+		b.meta[idx] = blockMeta{used: true, next: -1}
+		b.mu.Unlock()
+
+		c.mu.Lock()
+		if exhausted && len(c.avail) > 0 && c.avail[0] == bi {
+			c.avail = c.avail[1:]
+			c.availSet[bi] = false
+		}
+		c.mu.Unlock()
+		return bi, int(idx), nil
+	}
+}
+
+// freeBlock returns a block to its buffer's free list.
+func (c *Cache) freeBlock(bufIdx, blockIdx int) {
+	c.mu.Lock()
+	b := c.buffers[bufIdx]
+	c.mu.Unlock()
+
+	b.mu.Lock()
+	b.meta[blockIdx] = blockMeta{next: b.freeHead}
+	b.freeHead = int32(blockIdx)
+	b.freeCount++
+	b.mu.Unlock()
+
+	c.mu.Lock()
+	if !c.availSet[bufIdx] {
+		c.availSet[bufIdx] = true
+		c.avail = append(c.avail, bufIdx)
+	}
+	c.mu.Unlock()
+}
+
+// Insert stores data as a new entry and returns its address (the address of
+// the chain's last block). On ErrCacheFull nothing is allocated.
+func (c *Cache) Insert(data []byte) (Address, error) {
+	return c.appendChain(NilAddress, data)
+}
+
+// Append extends the entry at addr with data and returns the (possibly new)
+// entry address. The caller must present the entry's current address. On
+// ErrCacheFull the entry is left exactly as it was.
+func (c *Cache) Append(addr Address, data []byte) (Address, error) {
+	if addr == NilAddress {
+		return NilAddress, ErrBadAddress
+	}
+	return c.appendChain(addr, data)
+}
+
+// appendChain extends (or creates) an entry chain atomically: a mid-way
+// allocation failure rolls back the tail fill and frees any new blocks, so
+// callers never leak cache space on ErrCacheFull.
+func (c *Cache) appendChain(orig Address, data []byte) (Address, error) {
+	written := 0
+	tailFilled := 0
+	var tailBuf *buffer
+	tailBlk := -1
+	last := orig
+
+	rollback := func() {
+		// Free newly chained blocks (those after orig in the chain).
+		for a := last; a != orig && a != NilAddress; {
+			bi, blk, err := c.locate(a)
+			if err != nil {
+				break
+			}
+			c.mu.Lock()
+			b := c.buffers[bi]
+			c.mu.Unlock()
+			b.mu.Lock()
+			prev := b.meta[blk].prev
+			freed := int64(b.meta[blk].length)
+			b.mu.Unlock()
+			c.freeBlock(bi, blk)
+			c.addUsed(-freed)
+			a = prev
+		}
+		// Restore the original tail block's length.
+		if tailFilled > 0 && tailBuf != nil {
+			tailBuf.mu.Lock()
+			tailBuf.meta[tailBlk].length -= int32(tailFilled)
+			tailBuf.mu.Unlock()
+			c.addUsed(int64(-tailFilled))
+		}
+	}
+
+	// Fill the remaining capacity of the current last block first.
+	if orig != NilAddress {
+		bi, blk, err := c.locate(orig)
+		if err != nil {
+			return NilAddress, err
+		}
+		c.mu.Lock()
+		b := c.buffers[bi]
+		c.mu.Unlock()
+		b.mu.Lock()
+		m := &b.meta[blk]
+		if !m.used {
+			b.mu.Unlock()
+			return NilAddress, ErrEntryDeleted
+		}
+		space := c.cfg.BlockSize - int(m.length)
+		if space > 0 {
+			n := space
+			if n > len(data) {
+				n = len(data)
+			}
+			off := blk*c.cfg.BlockSize + int(m.length)
+			copy(b.data[off:off+n], data[:n])
+			m.length += int32(n)
+			written = n
+			tailFilled = n
+			tailBuf, tailBlk = b, blk
+		}
+		b.mu.Unlock()
+		c.addUsed(int64(written))
+	}
+	for written < len(data) || orig == NilAddress && written == 0 && len(data) == 0 {
+		bi, blk, err := c.allocBlock()
+		if err != nil {
+			rollback()
+			return orig, err
+		}
+		c.mu.Lock()
+		b := c.buffers[bi]
+		c.mu.Unlock()
+		n := len(data) - written
+		if n > c.cfg.BlockSize {
+			n = c.cfg.BlockSize
+		}
+		b.mu.Lock()
+		m := &b.meta[blk]
+		m.prev = last
+		copy(b.data[blk*c.cfg.BlockSize:], data[written:written+n])
+		m.length = int32(n)
+		b.mu.Unlock()
+		c.addUsed(int64(n))
+		written += n
+		last = c.addressOf(bi, blk)
+		if len(data) == 0 {
+			break
+		}
+	}
+	return last, nil
+}
+
+func (c *Cache) addUsed(n int64) {
+	c.mu.Lock()
+	c.usedBytes += n
+	c.mu.Unlock()
+}
+
+// Get reconstructs the entry whose last block is addr. The chain is walked
+// backwards via prev pointers, then reversed into a single buffer.
+func (c *Cache) Get(addr Address) ([]byte, error) {
+	if addr == NilAddress {
+		return nil, ErrBadAddress
+	}
+	type piece struct {
+		bufIdx, blockIdx int
+		length           int
+	}
+	var pieces []piece
+	total := 0
+	for a := addr; a != NilAddress; {
+		bi, blk, err := c.locate(a)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		b := c.buffers[bi]
+		c.mu.Unlock()
+		b.mu.Lock()
+		m := b.meta[blk]
+		b.mu.Unlock()
+		if !m.used {
+			return nil, ErrEntryDeleted
+		}
+		pieces = append(pieces, piece{bi, blk, int(m.length)})
+		total += int(m.length)
+		a = m.prev
+	}
+	out := make([]byte, total)
+	pos := total
+	for _, p := range pieces { // pieces are last→first; fill back to front
+		c.mu.Lock()
+		b := c.buffers[p.bufIdx]
+		c.mu.Unlock()
+		b.mu.Lock()
+		copy(out[pos-p.length:pos], b.data[p.blockIdx*c.cfg.BlockSize:p.blockIdx*c.cfg.BlockSize+p.length])
+		b.mu.Unlock()
+		pos -= p.length
+	}
+	return out, nil
+}
+
+// Delete frees every block of the entry at addr.
+func (c *Cache) Delete(addr Address) error {
+	if addr == NilAddress {
+		return ErrBadAddress
+	}
+	var freed int64
+	for a := addr; a != NilAddress; {
+		bi, blk, err := c.locate(a)
+		if err != nil {
+			return err
+		}
+		c.mu.Lock()
+		b := c.buffers[bi]
+		c.mu.Unlock()
+		b.mu.Lock()
+		m := b.meta[blk]
+		b.mu.Unlock()
+		if !m.used {
+			return ErrEntryDeleted
+		}
+		freed += int64(m.length)
+		c.freeBlock(bi, blk)
+		a = m.prev
+	}
+	c.addUsed(-freed)
+	return nil
+}
+
+// Stats describes cache occupancy.
+type Stats struct {
+	UsedBytes   int64
+	Buffers     int
+	FreeBlocks  int
+	TotalBlocks int
+}
+
+// Stats returns a consistent-enough snapshot of occupancy.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	bufs := append([]*buffer(nil), c.buffers...)
+	st := Stats{UsedBytes: c.usedBytes, Buffers: len(bufs)}
+	c.mu.Unlock()
+	for _, b := range bufs {
+		b.mu.Lock()
+		st.FreeBlocks += b.freeCount
+		b.mu.Unlock()
+		st.TotalBlocks += c.cfg.BlocksPerBuffer
+	}
+	return st
+}
+
+// MaxBytes returns the configured capacity in bytes.
+func (c *Cache) MaxBytes() int64 {
+	return int64(c.cfg.BlockSize) * int64(c.cfg.BlocksPerBuffer) * int64(c.cfg.MaxBuffers)
+}
+
+func (a Address) String() string { return fmt.Sprintf("blk#%d", uint32(a)) }

@@ -1,0 +1,430 @@
+package bookkeeper
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/pravega-go/pravega/internal/cluster"
+	"github.com/pravega-go/pravega/internal/sim"
+)
+
+// ReplicationConfig mirrors the paper's Table 1: ensemble=3, writeQuorum=3,
+// ackQuorum=2.
+type ReplicationConfig struct {
+	Ensemble    int
+	WriteQuorum int
+	AckQuorum   int
+}
+
+// DefaultReplication returns the paper's replication settings.
+func DefaultReplication() ReplicationConfig {
+	return ReplicationConfig{Ensemble: 3, WriteQuorum: 3, AckQuorum: 2}
+}
+
+// Validate checks quorum arithmetic.
+func (r ReplicationConfig) Validate() error {
+	if r.Ensemble < 1 || r.WriteQuorum < 1 || r.AckQuorum < 1 {
+		return fmt.Errorf("bookkeeper: quorums must be positive: %+v", r)
+	}
+	if r.WriteQuorum > r.Ensemble {
+		return fmt.Errorf("bookkeeper: writeQuorum %d > ensemble %d", r.WriteQuorum, r.Ensemble)
+	}
+	if r.AckQuorum > r.WriteQuorum {
+		return fmt.Errorf("bookkeeper: ackQuorum %d > writeQuorum %d", r.AckQuorum, r.WriteQuorum)
+	}
+	return nil
+}
+
+// LedgerState is the lifecycle state recorded in ledger metadata.
+type LedgerState string
+
+// Ledger lifecycle states.
+const (
+	LedgerOpen   LedgerState = "OPEN"
+	LedgerClosed LedgerState = "CLOSED"
+)
+
+// LedgerMetadata is stored in the coordination service, as BookKeeper
+// stores its ledger metadata in ZooKeeper.
+type LedgerMetadata struct {
+	ID          int64             `json:"id"`
+	Ensemble    []string          `json:"ensemble"`
+	Replication ReplicationConfig `json:"replication"`
+	State       LedgerState       `json:"state"`
+	LastEntry   int64             `json:"lastEntry"` // valid when closed
+}
+
+// Client creates and opens ledgers against a set of bookies.
+type Client struct {
+	mu      sync.Mutex
+	bookies map[string]*Bookie
+	links   map[string]*sim.Link // request path to each bookie
+	meta    *cluster.Store
+	root    string
+	linkCfg sim.LinkConfig
+	nextID  int64
+}
+
+// ClientConfig parameterizes a BookKeeper client.
+type ClientConfig struct {
+	// Meta is the coordination store holding ledger metadata.
+	Meta *cluster.Store
+	// MetaRoot is the path prefix for ledger metadata nodes.
+	MetaRoot string
+	// Link shapes the client->bookie network path (zero = instantaneous).
+	Link sim.LinkConfig
+}
+
+// NewClient builds a client. Bookies are registered with RegisterBookie.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Meta == nil {
+		return nil, errors.New("bookkeeper: ClientConfig.Meta is required")
+	}
+	if cfg.MetaRoot == "" {
+		cfg.MetaRoot = "/bookkeeper/ledgers"
+	}
+	if err := cfg.Meta.CreateAll(cfg.MetaRoot, nil); err != nil && !errors.Is(err, cluster.ErrNodeExists) {
+		return nil, err
+	}
+	return &Client{
+		bookies: make(map[string]*Bookie),
+		links:   make(map[string]*sim.Link),
+		meta:    cfg.Meta,
+		root:    cfg.MetaRoot,
+		linkCfg: cfg.Link,
+	}, nil
+}
+
+// RegisterBookie makes a bookie available for new ensembles.
+func (c *Client) RegisterBookie(b *Bookie) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bookies[b.ID()] = b
+	c.links[b.ID()] = sim.NewLink(c.linkCfg)
+}
+
+// Bookies returns the registered bookie ids, sorted.
+func (c *Client) Bookies() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.bookies))
+	for id := range c.bookies {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *Client) bookie(id string) (*Bookie, *sim.Link, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.bookies[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("bookkeeper: unknown bookie %q", id)
+	}
+	return b, c.links[id], nil
+}
+
+func (c *Client) metaPath(id int64) string { return fmt.Sprintf("%s/L%016d", c.root, id) }
+
+func (c *Client) writeMetadata(md LedgerMetadata, create bool) error {
+	data, err := json.Marshal(md)
+	if err != nil {
+		return err
+	}
+	if create {
+		return c.meta.Create(c.metaPath(md.ID), data)
+	}
+	_, err = c.meta.Set(c.metaPath(md.ID), data, -1)
+	return err
+}
+
+func (c *Client) readMetadata(id int64) (LedgerMetadata, error) {
+	data, _, err := c.meta.Get(c.metaPath(id))
+	if err != nil {
+		if errors.Is(err, cluster.ErrNoNode) {
+			return LedgerMetadata{}, ErrNoLedger
+		}
+		return LedgerMetadata{}, err
+	}
+	var md LedgerMetadata
+	if err := json.Unmarshal(data, &md); err != nil {
+		return LedgerMetadata{}, err
+	}
+	return md, nil
+}
+
+// CreateLedger allocates a new open ledger over an ensemble chosen from the
+// registered bookies (least-loaded not modelled; selection is rotation by
+// ledger id, which spreads load evenly as in the paper's symmetric setup).
+func (c *Client) CreateLedger(rep ReplicationConfig) (*LedgerHandle, error) {
+	if err := rep.Validate(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.bookies))
+	for id, b := range c.bookies {
+		if !b.IsDown() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	c.nextID++
+	lid := c.nextID
+	c.mu.Unlock()
+
+	if len(ids) < rep.Ensemble {
+		return nil, fmt.Errorf("%w: need %d bookies, have %d alive", ErrNotEnough, rep.Ensemble, len(ids))
+	}
+	ens := make([]string, rep.Ensemble)
+	for i := 0; i < rep.Ensemble; i++ {
+		ens[i] = ids[(int(lid)+i)%len(ids)]
+	}
+	md := LedgerMetadata{ID: lid, Ensemble: ens, Replication: rep, State: LedgerOpen, LastEntry: -1}
+	if err := c.writeMetadata(md, true); err != nil {
+		return nil, err
+	}
+	return &LedgerHandle{client: c, md: md, next: 0, lac: -1}, nil
+}
+
+// LedgerHandle is the single-writer handle to an open ledger.
+type LedgerHandle struct {
+	client *Client
+	md     LedgerMetadata
+
+	mu     sync.Mutex
+	next   int64
+	lac    int64 // last add confirmed
+	closed bool
+	err    error // sticky error after a failed append
+}
+
+// ID returns the ledger id.
+func (h *LedgerHandle) ID() int64 { return h.md.ID }
+
+// LastAddConfirmed returns the highest entry id known durable.
+func (h *LedgerHandle) LastAddConfirmed() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.lac
+}
+
+// Err returns the sticky error, if the handle has failed.
+func (h *LedgerHandle) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// AppendAsync writes data as the next entry, invoking cb(entryID, err) when
+// ackQuorum bookies confirm. Calls are pipelined: many appends may be in
+// flight; acknowledgements complete in order per bookie.
+func (h *LedgerHandle) AppendAsync(data []byte, cb func(int64, error)) {
+	h.mu.Lock()
+	if h.closed || h.err != nil {
+		err := h.err
+		if err == nil {
+			err = ErrLedgerClosed
+		}
+		h.mu.Unlock()
+		cb(-1, err)
+		return
+	}
+	entryID := h.next
+	h.next++
+	h.mu.Unlock()
+
+	rep := h.md.Replication
+	// Round-robin striping of entries across the ensemble.
+	targets := make([]string, rep.WriteQuorum)
+	for i := 0; i < rep.WriteQuorum; i++ {
+		targets[i] = h.md.Ensemble[(int(entryID)+i)%len(h.md.Ensemble)]
+	}
+
+	var mu sync.Mutex
+	acks, fails := 0, 0
+	done := false
+	size := len(data)
+	for _, id := range targets {
+		b, link, err := h.client.bookie(id)
+		if err != nil {
+			h.fail(entryID, err, cb, &mu, &done)
+			continue
+		}
+		bb := b
+		link.Send(size, func() {
+			bb.AddEntry(h.md.ID, entryID, data, func(err error) {
+				mu.Lock()
+				defer mu.Unlock()
+				if done {
+					return
+				}
+				if err != nil {
+					fails++
+					if fails > rep.WriteQuorum-rep.AckQuorum {
+						done = true
+						h.setErr(err)
+						cb(-1, err)
+					}
+					return
+				}
+				acks++
+				if acks >= rep.AckQuorum {
+					done = true
+					h.advanceLAC(entryID)
+					cb(entryID, nil)
+				}
+			})
+		})
+	}
+}
+
+func (h *LedgerHandle) fail(entryID int64, err error, cb func(int64, error), mu *sync.Mutex, done *bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	if *done {
+		return
+	}
+	*done = true
+	h.setErr(err)
+	cb(-1, err)
+}
+
+func (h *LedgerHandle) setErr(err error) {
+	h.mu.Lock()
+	if h.err == nil {
+		h.err = err
+	}
+	h.mu.Unlock()
+}
+
+func (h *LedgerHandle) advanceLAC(entryID int64) {
+	h.mu.Lock()
+	if entryID > h.lac {
+		h.lac = entryID
+	}
+	h.mu.Unlock()
+}
+
+// Append writes data and blocks for the ack (convenience wrapper).
+func (h *LedgerHandle) Append(data []byte) (int64, error) {
+	type res struct {
+		id  int64
+		err error
+	}
+	ch := make(chan res, 1)
+	h.AppendAsync(data, func(id int64, err error) { ch <- res{id, err} })
+	r := <-ch
+	return r.id, r.err
+}
+
+// Close seals the ledger, recording its final length in metadata.
+func (h *LedgerHandle) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	last := h.lac
+	h.mu.Unlock()
+
+	md := h.md
+	md.State = LedgerClosed
+	md.LastEntry = last
+	return h.client.writeMetadata(md, false)
+}
+
+// ReadEntry reads one entry, trying the bookies that store it in order.
+func (c *Client) ReadEntry(md LedgerMetadata, entryID int64) ([]byte, error) {
+	rep := md.Replication
+	var lastErr error = ErrNoEntry
+	for i := 0; i < rep.WriteQuorum; i++ {
+		id := md.Ensemble[(int(entryID)+i)%len(md.Ensemble)]
+		b, _, err := c.bookie(id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		data, err := b.ReadEntry(md.ID, entryID)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// Metadata returns the ledger's current metadata.
+func (c *Client) Metadata(id int64) (LedgerMetadata, error) { return c.readMetadata(id) }
+
+// OpenLedgerRecovery fences the ledger on its ensemble, determines the last
+// recoverable entry (highest entry id confirmed by at least ackQuorum... in
+// this model, the max across reachable bookies, re-replicated on read), and
+// closes the ledger. This is how a restarted segment container takes
+// exclusive ownership of its WAL (§4.4).
+func (c *Client) OpenLedgerRecovery(id int64) (LedgerMetadata, error) {
+	md, err := c.readMetadata(id)
+	if err != nil {
+		return LedgerMetadata{}, err
+	}
+	if md.State == LedgerClosed {
+		return md, nil
+	}
+	last := int64(-1)
+	reachable := 0
+	for _, bid := range md.Ensemble {
+		b, _, err := c.bookie(bid)
+		if err != nil {
+			continue
+		}
+		l, err := b.Fence(md.ID)
+		if err != nil {
+			continue
+		}
+		reachable++
+		if l > last {
+			last = l
+		}
+	}
+	quorumNeeded := md.Replication.Ensemble - md.Replication.AckQuorum + 1
+	if reachable < quorumNeeded {
+		return LedgerMetadata{}, fmt.Errorf("%w: fenced %d of %d bookies, need %d",
+			ErrNotEnough, reachable, md.Replication.Ensemble, quorumNeeded)
+	}
+	// Walk back from the highest seen entry until one is readable: entries
+	// beyond the last ack'd may exist on a minority and are discarded by
+	// recovery, exactly as BookKeeper's recovery protocol does.
+	for last >= 0 {
+		if _, err := c.ReadEntry(md, last); err == nil {
+			break
+		}
+		last--
+	}
+	md.State = LedgerClosed
+	md.LastEntry = last
+	if err := c.writeMetadata(md, false); err != nil {
+		return LedgerMetadata{}, err
+	}
+	return md, nil
+}
+
+// DeleteLedger removes the ledger from all bookies and drops its metadata.
+func (c *Client) DeleteLedger(id int64) error {
+	md, err := c.readMetadata(id)
+	if err != nil {
+		if errors.Is(err, ErrNoLedger) {
+			return nil
+		}
+		return err
+	}
+	for _, bid := range md.Ensemble {
+		if b, _, err := c.bookie(bid); err == nil {
+			_ = b.DeleteLedger(id) // a down bookie holds no obligation
+		}
+	}
+	return c.meta.Delete(c.metaPath(id), -1)
+}

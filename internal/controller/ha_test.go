@@ -1,0 +1,194 @@
+package controller
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/cluster"
+)
+
+func TestHAPartitionsSplitWork(t *testing.T) {
+	data := newFakeData()
+	cs := cluster.NewStore()
+	c1, err := New(Config{Data: data, Cluster: cs, ScaleCooldown: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := New(Config{Data: data, Cluster: cs, ScaleCooldown: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c1.EnableHA("ctrl-1", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.EnableHA("ctrl-2", 8); err != nil {
+		t.Fatal(err)
+	}
+	o1, on1 := c1.ownedPartitions()
+	o2, on2 := c2.ownedPartitions()
+	if !on1 || !on2 {
+		t.Fatal("HA not active")
+	}
+	if len(o1)+len(o2) != 8 {
+		t.Fatalf("partitions not fully covered: %v + %v", o1, o2)
+	}
+	for p := range o1 {
+		if o2[p] {
+			t.Fatalf("partition %d owned by both instances", p)
+		}
+	}
+}
+
+func TestHAFailoverTransfersOwnership(t *testing.T) {
+	data := newFakeData()
+	cs := cluster.NewStore()
+	c1, err := New(Config{Data: data, Cluster: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(Config{Data: data, Cluster: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c1.EnableHA("a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.EnableHA("b", 4); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c2.ownedPartitions()
+	if len(before) == 4 {
+		t.Fatal("instance 2 owns everything with both alive")
+	}
+	// Instance 1 dies: its ephemeral registration vanishes and instance 2
+	// takes over every partition.
+	c1.Close()
+	after, _ := c2.ownedPartitions()
+	if len(after) != 4 {
+		t.Fatalf("failover incomplete: own %d of 4 partitions", len(after))
+	}
+}
+
+func TestHAPolicyLoopOnlyTouchesOwnedStreams(t *testing.T) {
+	data := newFakeData()
+	cs := cluster.NewStore()
+	c1, err := New(Config{Data: data, Cluster: cs, ScaleCooldown: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	if err := c1.CreateScope("s"); err != nil {
+		t.Fatal(err)
+	}
+	// Several hot streams spread over the partitions.
+	const n = 12
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("x%d", i)
+		if err := c1.CreateStream(StreamConfig{
+			Scope: "s", Name: name, InitialSegments: 1,
+			Scaling: ScalingPolicy{Type: ScalingByEventRate, TargetRate: 10},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		segs, _ := c1.GetActiveSegments("s", name)
+		data.setLoad(segs[0].ID.QualifiedName(), 1000)
+	}
+	// A second registered instance exists but never evaluates policies, so
+	// only c1's share of partitions scales.
+	if err := c1.EnableHA("aa-active", 8); err != nil {
+		t.Fatal(err)
+	}
+	other := cs.NewSession()
+	if err := other.CreateEphemeral(controllersRoot+"/zz-idle", nil); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	c1.evaluateScaling()
+	scaled, unscaled := 0, 0
+	for i := 0; i < n; i++ {
+		cnt, err := c1.SegmentCount("s", fmt.Sprintf("x%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt > 1 {
+			scaled++
+		} else {
+			unscaled++
+		}
+	}
+	if scaled == 0 {
+		t.Fatal("owned streams never scaled")
+	}
+	if unscaled == 0 {
+		t.Fatal("instance scaled streams belonging to other partitions")
+	}
+	other.Close()
+}
+
+func TestHAStateRefreshFromStore(t *testing.T) {
+	data := newFakeData()
+	cs := cluster.NewStore()
+	c1, err := New(Config{Data: data, Cluster: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := New(Config{Data: data, Cluster: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c1.CreateScope("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.CreateStream(StreamConfig{Scope: "s", Name: "fresh", InitialSegments: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Instance 2 started before the stream existed; refresh imports it.
+	if _, err := c2.GetActiveSegments("s", "fresh"); err == nil {
+		t.Fatal("instance 2 knows the stream before refresh")
+	}
+	if err := c2.RefreshFromStore(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := c2.GetActiveSegments("s", "fresh")
+	if err != nil || len(segs) != 2 {
+		t.Fatalf("after refresh: %d segments, %v", len(segs), err)
+	}
+	// A scale on instance 1 becomes visible after another refresh.
+	if err := c1.Scale("s", "fresh", []int64{segs[0].ID.Number}, segs[0].KeyRange.Split(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.RefreshFromStore(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c2.GetActiveSegments("s", "fresh")
+	if len(after) != 3 {
+		t.Fatalf("instance 2 sees %d segments after remote scale", len(after))
+	}
+}
+
+func TestEnableHAValidation(t *testing.T) {
+	data := newFakeData()
+	c, err := New(Config{Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.EnableHA("x", 4); err == nil {
+		t.Fatal("HA without a cluster store accepted")
+	}
+	cs := cluster.NewStore()
+	c2, err := New(Config{Data: data, Cluster: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.EnableHA("", 4); err == nil {
+		t.Fatal("HA without an instance id accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/omb"
+)
+
+// Fig10 reproduces "Impact of parallelism on write performance" (§5.6):
+// a fixed 250 MB/s target with 1 KB events, sweeping segments/partitions
+// and producer counts. Pulsar additionally runs its "favorable"
+// configuration (ackQuorum=3, no routing keys).
+func Fig10(o Options) (*Figure, error) {
+	o.defaults()
+	fig := &Figure{ID: "Fig10", Title: "Parallelism sweep (1KB events, 250MB/s target)", XLabel: "segments"}
+	segments := []int{10, 50, 100, 500, 1000, 5000}
+	writers := []int{10, 50, 100}
+	if o.Quick {
+		// Medium sweep: keep the extremes that define the figure's shape.
+		segments = []int{10, 500, 5000}
+		writers = []int{10, 100}
+	}
+	const targetEPS = 250e3 // 250 MB/s at 1 KB events, paper scale
+
+	type variant struct {
+		b       sysBuilder
+		keyCard int
+	}
+	variants := []variant{
+		{pravegaDefault(), 10_000},
+		{kafkaNoFlush(), 10_000},
+		{kafkaFlush(), 10_000},
+		{sysBuilder{name: "Pulsar", build: func(o *Options) (omb.System, error) {
+			return newPulsar(o, pulsarVariant{label: "Pulsar", batching: true})
+		}}, 10_000},
+		{sysBuilder{name: "Pulsar (favorable: ackQ=3, no keys)", build: func(o *Options) (omb.System, error) {
+			return newPulsar(o, pulsarVariant{label: "Pulsar (favorable: ackQ=3, no keys)", batching: true, ackAll: true})
+		}}, 0},
+	}
+	if o.Quick {
+		variants = []variant{variants[0], variants[1], variants[2], variants[3]}
+	}
+	for _, v := range variants {
+		for _, nw := range writers {
+			for _, ns := range segments {
+				sys, err := v.b.build(&o)
+				if err != nil {
+					return fig, err
+				}
+				seq := 0
+				r, err := runPoint(&o, sys, &seq, omb.WorkloadConfig{
+					Partitions:     ns,
+					Producers:      nw,
+					RatePerSec:     targetEPS / o.Scale,
+					EventSize:      1000,
+					KeyCardinality: v.keyCard,
+				})
+				sys.Close()
+				if err != nil {
+					return fig, err
+				}
+				fig.add(fmt.Sprintf("%s %dw", v.b.name, nw), float64(ns), r)
+			}
+		}
+	}
+	fig.note("paper: only Pravega sustains 250MB/s through 5k segments × 100 writers; Kafka decays with partitions (flush collapses); Pulsar unstable")
+	fig.Print(o.Out)
+	return fig, nil
+}
+
+// Fig11 reproduces "Max throughput achieved by systems under test" (§5.6):
+// closed-loop maximum rate with 10 producers and 1 KB events at 10 and 500
+// segments/partitions.
+func Fig11(o Options) (*Figure, error) {
+	o.defaults()
+	fig := &Figure{ID: "Fig11", Title: "Max throughput (1KB events, 10 producers)", XLabel: "segments"}
+	segments := []int{10, 500}
+	builders := []sysBuilder{
+		pravegaDefault(),
+		kafkaNoFlush(),
+		kafkaFlush(),
+		pulsarBatchWait(time.Millisecond, "Pulsar (1ms batch)"),
+		pulsarBatchWait(10*time.Millisecond, "Pulsar (10ms batch)"),
+	}
+	if o.Quick {
+		builders = builders[:2]
+		segments = []int{10}
+	}
+	for _, b := range builders {
+		for _, ns := range segments {
+			sys, err := b.build(&o)
+			if err != nil {
+				return fig, err
+			}
+			seq := 0
+			r, err := runPoint(&o, sys, &seq, omb.WorkloadConfig{
+				Partitions:     ns,
+				Producers:      10,
+				RatePerSec:     0, // closed loop: max rate
+				EventSize:      1000,
+				KeyCardinality: 10_000,
+				MaxOutstanding: 2048,
+			})
+			sys.Close()
+			if err != nil {
+				return fig, err
+			}
+			fig.add(b.name, float64(ns), r)
+		}
+	}
+	fig.note("paper: Pravega ~720MB/s at both 10 and 500 segments (near the ~800MB/s sync drive ceiling); Kafka 900/700 at 10 partitions collapsing to 140/22 at 500; Pulsar ~400MB/s")
+	fig.Print(o.Out)
+	return fig, nil
+}
+
+func pulsarBatchWait(wait time.Duration, label string) sysBuilder {
+	return sysBuilder{name: label, build: func(o *Options) (omb.System, error) {
+		return newPulsar(o, pulsarVariant{label: label, batching: true, batchWait: wait})
+	}}
+}

@@ -1,0 +1,276 @@
+package figures
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/omb"
+)
+
+// sysBuilder constructs a fresh deployment for one series. Every sweep
+// point gets its own deployment so a crash or backlog in one point cannot
+// contaminate the next.
+type sysBuilder struct {
+	name  string
+	build func(o *Options) (omb.System, error)
+}
+
+// sweepCfg is one latency–throughput sweep.
+type sweepCfg struct {
+	partitions int
+	rates      []float64 // paper-scale events/s
+	eventSize  int
+	consumers  int // 0 = write-only
+	keyCard    int // 0 = no routing keys
+	producers  int
+}
+
+func (o *Options) rates100B() []float64 {
+	if o.Quick {
+		return []float64{50e3, 500e3}
+	}
+	return []float64{20e3, 100e3, 300e3, 500e3, 700e3, 1e6}
+}
+
+func (o *Options) rates10KB() []float64 {
+	if o.Quick {
+		return []float64{8e3, 32e3} // 80, 320 MB/s
+	}
+	return []float64{4e3, 8e3, 16e3, 24e3, 32e3, 40e3}
+}
+
+// runSweep executes one series over the rate sweep.
+func runSweep(o *Options, fig *Figure, b sysBuilder, sc sweepCfg) error {
+	for _, rate := range sc.rates {
+		sys, err := b.build(o)
+		if err != nil {
+			return fmt.Errorf("building %s: %w", b.name, err)
+		}
+		producers := sc.producers
+		if producers <= 0 {
+			producers = 1
+		}
+		seq := 0
+		r, err := runPoint(o, sys, &seq, omb.WorkloadConfig{
+			Partitions:     sc.partitions,
+			Producers:      producers,
+			RatePerSec:     rate / o.Scale,
+			EventSize:      sc.eventSize,
+			KeyCardinality: sc.keyCard,
+			Consumers:      sc.consumers,
+		})
+		sys.Close()
+		if err != nil {
+			return fmt.Errorf("%s @%.0f e/s: %w", b.name, rate, err)
+		}
+		fig.add(b.name, rate, r)
+	}
+	return nil
+}
+
+// Builders for the standard variants.
+
+func pravegaDefault() sysBuilder {
+	return sysBuilder{name: "Pravega (flush)", build: func(o *Options) (omb.System, error) {
+		return newPravega(o, pravegaVariant{label: "Pravega (flush)"})
+	}}
+}
+
+func pravegaNoFlush() sysBuilder {
+	return sysBuilder{name: "Pravega (no flush)", build: func(o *Options) (omb.System, error) {
+		return newPravega(o, pravegaVariant{label: "Pravega (no flush)", noFlush: true})
+	}}
+}
+
+func pravegaNoOpLTS() sysBuilder {
+	return sysBuilder{name: "Pravega (NoOp LTS)", build: func(o *Options) (omb.System, error) {
+		return newPravega(o, pravegaVariant{label: "Pravega (NoOp LTS)", noOpLTS: true})
+	}}
+}
+
+func kafkaNoFlush() sysBuilder {
+	return sysBuilder{name: "Kafka (no flush)", build: func(o *Options) (omb.System, error) {
+		return newKafka(o, kafkaVariant{label: "Kafka (no flush)"}), nil
+	}}
+}
+
+func kafkaFlush() sysBuilder {
+	return sysBuilder{name: "Kafka (flush)", build: func(o *Options) (omb.System, error) {
+		return newKafka(o, kafkaVariant{label: "Kafka (flush)", flush: true}), nil
+	}}
+}
+
+func kafkaBigBatch() sysBuilder {
+	return sysBuilder{name: "Kafka (10ms linger, 1MB batch)", build: func(o *Options) (omb.System, error) {
+		return newKafka(o, kafkaVariant{
+			label: "Kafka (10ms linger, 1MB batch)", batchSize: 1 << 20, linger: 10 * time.Millisecond,
+		}), nil
+	}}
+}
+
+func pulsarBatch() sysBuilder {
+	return sysBuilder{name: "Pulsar (batch)", build: func(o *Options) (omb.System, error) {
+		return newPulsar(o, pulsarVariant{label: "Pulsar (batch)", batching: true, tiering: true})
+	}}
+}
+
+func pulsarNoBatch() sysBuilder {
+	return sysBuilder{name: "Pulsar (no batch)", build: func(o *Options) (omb.System, error) {
+		return newPulsar(o, pulsarVariant{label: "Pulsar (no batch)", tiering: true})
+	}}
+}
+
+// Fig5 reproduces "Impact of data durability on write performance" (§5.2):
+// latency–throughput for Pravega flush/no-flush vs Kafka flush/no-flush,
+// 100 B events, 1 writer, at 1 and 16 segments/partitions.
+func Fig5(o Options) (*Figure, error) {
+	o.defaults()
+	fig := &Figure{ID: "Fig5", Title: "Write performance vs data durability (100B events, 1 writer)", XLabel: "target e/s"}
+	builders := []sysBuilder{pravegaDefault(), pravegaNoFlush(), kafkaNoFlush(), kafkaFlush()}
+	parts := []int{1, 16}
+	if o.Quick {
+		parts = []int{16}
+	}
+	for _, np := range parts {
+		for _, b := range builders {
+			bb := b
+			bb.name = fmt.Sprintf("%s %dseg", b.name, np)
+			if err := runSweep(&o, fig, bb, sweepCfg{
+				partitions: np, rates: o.rates100B(), eventSize: 100, keyCard: 1000,
+			}); err != nil {
+				return fig, err
+			}
+		}
+	}
+	fig.note("paper: Pravega(flush) max throughput 73%% above Kafka(no flush) at 1 segment; Kafka(flush) latency explodes at moderate rates")
+	fig.Print(o.Out)
+	return fig, nil
+}
+
+// Fig6 reproduces "Evaluation of client batching strategies" (§5.3):
+// Pravega's dynamic batching vs Pulsar batch/no-batch and Kafka's linger
+// configurations.
+func Fig6(o Options) (*Figure, error) {
+	o.defaults()
+	fig := &Figure{ID: "Fig6", Title: "Client batching strategies (100B events, 1 writer)", XLabel: "target e/s"}
+	sets := []struct {
+		parts    int
+		builders []sysBuilder
+	}{
+		{1, []sysBuilder{pravegaDefault(), pulsarBatch(), pulsarNoBatch()}},
+		{16, []sysBuilder{pravegaDefault(), kafkaNoFlush(), kafkaBigBatch()}},
+	}
+	if o.Quick {
+		sets = sets[1:]
+	}
+	for _, set := range sets {
+		for _, b := range set.builders {
+			bb := b
+			bb.name = fmt.Sprintf("%s %dseg", b.name, set.parts)
+			if err := runSweep(&o, fig, bb, sweepCfg{
+				partitions: set.parts, rates: o.rates100B(), eventSize: 100, keyCard: 1000,
+			}); err != nil {
+				return fig, err
+			}
+		}
+	}
+	fig.note("paper: Pulsar forces a latency- or throughput-oriented choice; Pravega achieves both; Kafka's larger batches backfire with random keys")
+	fig.Print(o.Out)
+	return fig, nil
+}
+
+// Fig7 reproduces "Write performance for larger events" (§5.4): 10 KB
+// events; byte throughput, including Pravega's NoOp-LTS test feature.
+func Fig7(o Options) (*Figure, error) {
+	o.defaults()
+	fig := &Figure{ID: "Fig7", Title: "Write performance for 10KB events (1 writer)", XLabel: "target e/s"}
+	sets := []struct {
+		parts    int
+		builders []sysBuilder
+	}{
+		{1, []sysBuilder{pravegaDefault(), pravegaNoOpLTS(), pulsarBatch(), kafkaNoFlush()}},
+		{16, []sysBuilder{pravegaDefault(), pulsarBatch(), kafkaNoFlush()}},
+	}
+	if o.Quick {
+		sets[0].builders = []sysBuilder{pravegaDefault(), pravegaNoOpLTS()}
+		sets = sets[:1]
+	}
+	for _, set := range sets {
+		for _, b := range set.builders {
+			bb := b
+			bb.name = fmt.Sprintf("%s %dseg", b.name, set.parts)
+			if err := runSweep(&o, fig, bb, sweepCfg{
+				partitions: set.parts, rates: o.rates10KB(), eventSize: 10_000, keyCard: 1000,
+			}); err != nil {
+				return fig, err
+			}
+		}
+	}
+	fig.note("paper: single-segment Pravega is LTS-bound (~160MB/s, EFS per-stream cap); NoOp LTS lifts it; 16 segments Pravega leads (350MB/s)")
+	fig.Print(o.Out)
+	return fig, nil
+}
+
+// Fig8 reproduces "Performance of tail readers/consumers" (§5.5):
+// end-to-end latency and read throughput, 100 B events, 1 writer + 1
+// consumer per partition.
+func Fig8(o Options) (*Figure, error) {
+	o.defaults()
+	fig := &Figure{ID: "Fig8", Title: "Tail read end-to-end latency (100B events)", XLabel: "target e/s"}
+	builders := []sysBuilder{pravegaDefault(), pulsarBatch(), kafkaNoFlush()}
+	parts := []int{1, 16}
+	if o.Quick {
+		parts = []int{16}
+	}
+	for _, np := range parts {
+		for _, b := range builders {
+			bb := b
+			bb.name = fmt.Sprintf("%s %dseg", b.name, np)
+			if err := runSweep(&o, fig, bb, sweepCfg{
+				partitions: np, rates: o.rates100B(), eventSize: 100, keyCard: 1000, consumers: np,
+			}); err != nil {
+				return fig, err
+			}
+		}
+	}
+	fig.note("paper: Pulsar e2e p95 never under ~12ms; Kafka single-partition read throughput lowest; Pulsar loses 76%% of read throughput at 16 partitions")
+	fig.Print(o.Out)
+	return fig, nil
+}
+
+// Fig9 reproduces "Impact of routing keys on read performance" (§5.5):
+// the same tail-read workload with and without routing keys.
+func Fig9(o Options) (*Figure, error) {
+	o.defaults()
+	fig := &Figure{ID: "Fig9", Title: "Routing-key impact on reads (100B events, 16 partitions)", XLabel: "target e/s"}
+	rates := o.rates100B()
+	type variant struct {
+		b       sysBuilder
+		keyCard int
+		label   string
+	}
+	variants := []variant{
+		{pravegaDefault(), 1000, "Pravega (keys)"},
+		{pravegaDefault(), 0, "Pravega (no keys)"},
+		{pulsarBatch(), 1000, "Pulsar (keys)"},
+		{pulsarBatch(), 0, "Pulsar (no keys)"},
+		{kafkaNoFlush(), 1000, "Kafka (keys)"},
+		{kafkaNoFlush(), 0, "Kafka (no keys, no order)"},
+	}
+	if o.Quick {
+		variants = []variant{variants[2], variants[3]}
+		rates = rates[:1]
+	}
+	for _, v := range variants {
+		bb := v.b
+		bb.name = v.label
+		if err := runSweep(&o, fig, bb, sweepCfg{
+			partitions: 16, rates: rates, eventSize: 100, keyCard: v.keyCard, consumers: 16,
+		}); err != nil {
+			return fig, err
+		}
+	}
+	fig.note("paper: random keys cost Pulsar ~3.25x e2e p95; Kafka gains ~60%% throughput without keys/order; Pravega is insensitive")
+	fig.Print(o.Out)
+	return fig, nil
+}

@@ -1,0 +1,72 @@
+package figures
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+// tinyOptions shrink figure runs to smoke-test size.
+func tinyOptions() Options {
+	return Options{
+		Scale:         64, // very small devices: minimal CPU
+		Quick:         true,
+		PointDuration: 250 * time.Millisecond,
+		WarmUp:        100 * time.Millisecond,
+		Out:           io.Discard,
+	}
+}
+
+func requirePoints(t *testing.T, fig *Figure, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) == 0 {
+		t.Fatalf("%s produced no points", fig.ID)
+	}
+	for _, p := range fig.Points {
+		if p.Result.EventsSent == 0 && !p.Result.Failed {
+			t.Fatalf("%s %s@%.0f sent nothing and is not marked failed", fig.ID, p.Series, p.X)
+		}
+	}
+}
+
+func TestFig5Smoke(t *testing.T) { fig, err := Fig5(tinyOptions()); requirePoints(t, fig, err) }
+func TestFig6Smoke(t *testing.T) { fig, err := Fig6(tinyOptions()); requirePoints(t, fig, err) }
+func TestFig7Smoke(t *testing.T) { fig, err := Fig7(tinyOptions()); requirePoints(t, fig, err) }
+func TestFig8Smoke(t *testing.T) { fig, err := Fig8(tinyOptions()); requirePoints(t, fig, err) }
+func TestFig9Smoke(t *testing.T) { fig, err := Fig9(tinyOptions()); requirePoints(t, fig, err) }
+
+func TestAblationsSmoke(t *testing.T) {
+	fig, err := Ablations(tinyOptions())
+	requirePoints(t, fig, err)
+}
+
+func TestFig12Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := tinyOptions()
+	fig, err := Fig12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Points) != 2 {
+		t.Fatalf("Fig12 points: %d", len(fig.Points))
+	}
+}
+
+func TestFig13Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := tinyOptions()
+	series, err := Fig13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+}

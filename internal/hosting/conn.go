@@ -1,0 +1,150 @@
+package hosting
+
+import (
+	"sync"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/segstore"
+	"github.com/pravega-go/pravega/internal/sim"
+)
+
+// Conn is one client's connection to the cluster's segment stores. With a
+// profile it shapes traffic through per-store request/response links
+// (modelling one TCP connection per store, as the Pravega client holds),
+// preserving FIFO order — which the writer relies on for per-key event
+// order (§3.2).
+type Conn struct {
+	cl      *Cluster
+	profile *sim.Profile
+
+	mu   sync.Mutex
+	req  map[string]*sim.Link
+	resp map[string]*sim.Link
+}
+
+// NewClientConn creates a connection. profile may be nil for an
+// instantaneous (test) connection.
+func (cl *Cluster) NewClientConn(profile *sim.Profile) *Conn {
+	return &Conn{
+		cl:      cl,
+		profile: profile,
+		req:     make(map[string]*sim.Link),
+		resp:    make(map[string]*sim.Link),
+	}
+}
+
+// RTT returns the modelled round-trip time to the segment stores.
+func (c *Conn) RTT() time.Duration {
+	if c.profile == nil {
+		return 0
+	}
+	return c.profile.ClientLink.RTT()
+}
+
+// links returns the request/response links for a store.
+func (c *Conn) links(storeID string) (*sim.Link, *sim.Link) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.req[storeID]
+	if !ok {
+		cfg := sim.LinkConfig{}
+		if c.profile != nil {
+			cfg = c.profile.ClientLink
+		}
+		r = sim.NewLink(cfg)
+		c.req[storeID] = r
+		c.resp[storeID] = sim.NewLink(cfg)
+	}
+	return r, c.resp[storeID]
+}
+
+// oneWay sleeps half an RTT (simple request/response calls).
+func (c *Conn) oneWay() {
+	if c.profile != nil {
+		time.Sleep(c.profile.ClientLink.Latency)
+	}
+}
+
+// AppendAsync sends an append through the shaped request link and delivers
+// the result on the response link. Appends to segments on the same store
+// stay FIFO end to end.
+func (c *Conn) AppendAsync(segment string, data []byte, writerID string, eventNum int64, eventCount int32, cb func(segstore.AppendResult)) {
+	st, err := c.cl.StoreFor(segment)
+	if err != nil {
+		cb(segstore.AppendResult{Err: err})
+		return
+	}
+	cont, err := st.Container(segment)
+	if err != nil {
+		cb(segstore.AppendResult{Err: err})
+		return
+	}
+	req, resp := c.links(st.ID())
+	size := len(data) + 64
+	req.Send(size, func() {
+		ch := cont.AppendAsync(segment, data, writerID, eventNum, eventCount)
+		go func() {
+			r := <-ch
+			resp.Send(64, func() { cb(r) })
+		}()
+	})
+}
+
+// AppendConditional performs a conditional append (state synchronizer).
+func (c *Conn) AppendConditional(segment string, data []byte, expectedOffset int64) (int64, error) {
+	cont, err := c.cl.ContainerFor(segment)
+	if err != nil {
+		return 0, err
+	}
+	c.oneWay()
+	off, err := cont.AppendConditional(segment, data, expectedOffset)
+	c.oneWay()
+	return off, err
+}
+
+// Read performs a (long-poll) segment read.
+func (c *Conn) Read(segment string, offset int64, maxBytes int, wait time.Duration) (segstore.ReadResult, error) {
+	cont, err := c.cl.ContainerFor(segment)
+	if err != nil {
+		return segstore.ReadResult{}, err
+	}
+	c.oneWay()
+	res, err := cont.Read(segment, offset, maxBytes, wait)
+	c.oneWay()
+	return res, err
+}
+
+// GetInfo fetches segment metadata.
+func (c *Conn) GetInfo(segment string) (seginfo, error) {
+	cont, err := c.cl.ContainerFor(segment)
+	if err != nil {
+		return seginfo{}, err
+	}
+	c.oneWay()
+	info, err := cont.GetInfo(segment)
+	c.oneWay()
+	if err != nil {
+		return seginfo{}, err
+	}
+	return seginfo{Length: info.Length, StartOffset: info.StartOffset, Sealed: info.Sealed}, nil
+}
+
+// seginfo is the client-visible slice of segment.Info.
+type seginfo struct {
+	Length      int64
+	StartOffset int64
+	Sealed      bool
+}
+
+// WriterState fetches the writer's last recorded event number (§3.2
+// reconnection handshake).
+func (c *Conn) WriterState(segment, writerID string) (int64, error) {
+	cont, err := c.cl.ContainerFor(segment)
+	if err != nil {
+		return -1, err
+	}
+	c.oneWay()
+	n, err := cont.WriterState(segment, writerID)
+	c.oneWay()
+	return n, err
+}

@@ -1,0 +1,316 @@
+// Package hosting wires a complete in-process Pravega cluster: the
+// coordination store, a bookie ensemble, segment store instances with their
+// containers distributed across them, and a long-term storage backend. It
+// implements controller.DataPlane and gives clients segment routing. The
+// same components can instead be deployed over TCP via cmd/pravega-server
+// and internal/wire; hosting is the harness used by tests, examples and the
+// benchmark figures.
+package hosting
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/bookkeeper"
+	"github.com/pravega-go/pravega/internal/cluster"
+	"github.com/pravega-go/pravega/internal/controller"
+	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/lts"
+	"github.com/pravega-go/pravega/internal/segment"
+	"github.com/pravega-go/pravega/internal/segstore"
+	"github.com/pravega-go/pravega/internal/sim"
+)
+
+// ClusterConfig sizes an in-process cluster. The defaults mirror Table 1 of
+// the paper: 3 segment stores co-located with 3 bookies, replication 3/3/2.
+type ClusterConfig struct {
+	// Stores is the number of segment store instances (default 3).
+	Stores int
+	// ContainersPerStore is how many containers each store hosts
+	// (default 4).
+	ContainersPerStore int
+	// Bookies is the bookie count (default 3).
+	Bookies int
+	// Replication configures ledger quorums (default 3/3/2).
+	Replication bookkeeper.ReplicationConfig
+	// Profile, when non-nil, enables the simulated performance substrate:
+	// bookie journals on modelled NVMe drives, shaped replica links, and a
+	// modelled LTS unless LTS is set explicitly.
+	Profile *sim.Profile
+	// NoSyncJournal disables journal fsyncs ("Pravega no flush", §5.2).
+	NoSyncJournal bool
+	// DiscardData keeps only sizes in bookies (benchmark memory bound).
+	DiscardData bool
+	// LTS overrides the long-term storage backend (default lts.Memory, or
+	// a Sim-wrapped NoOp store when Profile is set).
+	LTS lts.ChunkStorage
+	// Container overrides container tuning fields (ID/BK/Meta/LTS/
+	// Replication are filled in by the cluster).
+	Container segstore.ContainerConfig
+}
+
+func (c *ClusterConfig) defaults() {
+	if c.Stores <= 0 {
+		c.Stores = 3
+	}
+	if c.ContainersPerStore <= 0 {
+		c.ContainersPerStore = 4
+	}
+	if c.Bookies <= 0 {
+		c.Bookies = 3
+	}
+	if c.Replication.Ensemble == 0 {
+		c.Replication = bookkeeper.DefaultReplication()
+	}
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	cfg  ClusterConfig
+	Meta *cluster.Store
+	BK   *bookkeeper.Client
+	LTS  lts.ChunkStorage
+
+	bookies []*bookkeeper.Bookie
+	disks   []*sim.Disk
+	stores  []*segstore.Store
+	// containerHome maps container id -> store index.
+	containerHome map[int]int
+	total         int
+}
+
+// NewCluster builds and starts the deployment.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg.defaults()
+	meta := cluster.NewStore()
+
+	var linkCfg sim.LinkConfig
+	if cfg.Profile != nil {
+		linkCfg = cfg.Profile.ReplicaLink
+	}
+	bk, err := bookkeeper.NewClient(bookkeeper.ClientConfig{Meta: meta, Link: linkCfg})
+	if err != nil {
+		return nil, err
+	}
+	cl := &Cluster{
+		cfg:           cfg,
+		Meta:          meta,
+		BK:            bk,
+		containerHome: make(map[int]int),
+		total:         cfg.Stores * cfg.ContainersPerStore,
+	}
+
+	for i := 0; i < cfg.Bookies; i++ {
+		bcfg := bookkeeper.BookieConfig{
+			ID:          fmt.Sprintf("bookie-%d", i),
+			NoSync:      cfg.NoSyncJournal,
+			DiscardData: cfg.DiscardData,
+		}
+		if cfg.Profile != nil {
+			d := sim.NewDisk(cfg.Profile.Disk)
+			cl.disks = append(cl.disks, d)
+			bcfg.Journal = d.OpenFile("journal")
+		}
+		b := bookkeeper.NewBookie(bcfg)
+		cl.bookies = append(cl.bookies, b)
+		bk.RegisterBookie(b)
+	}
+
+	cl.LTS = cfg.LTS
+	if cl.LTS == nil {
+		if cfg.Profile != nil {
+			var inner lts.ChunkStorage = lts.NewMemory()
+			if cfg.DiscardData {
+				inner = lts.NewNoOp()
+			}
+			cl.LTS = lts.NewSim(inner, cfg.Profile.LTS)
+		} else {
+			cl.LTS = lts.NewMemory()
+		}
+	}
+
+	for si := 0; si < cfg.Stores; si++ {
+		ccfg := cfg.Container
+		ccfg.BK = bk
+		ccfg.Meta = meta
+		ccfg.Replication = cfg.Replication
+		ccfg.LTS = cl.LTS
+		st, err := segstore.NewStore(segstore.StoreConfig{
+			ID:              fmt.Sprintf("segmentstore-%d", si),
+			TotalContainers: cl.total,
+			Container:       ccfg,
+			Cluster:         meta,
+		})
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.stores = append(cl.stores, st)
+		for k := 0; k < cfg.ContainersPerStore; k++ {
+			id := si*cfg.ContainersPerStore + k
+			if _, err := st.StartContainer(id); err != nil {
+				cl.Close()
+				return nil, err
+			}
+			cl.containerHome[id] = si
+		}
+	}
+	return cl, nil
+}
+
+// TotalContainers returns the cluster-wide container count.
+func (cl *Cluster) TotalContainers() int { return cl.total }
+
+// Stores returns the segment store instances.
+func (cl *Cluster) Stores() []*segstore.Store { return cl.stores }
+
+// Bookies returns the bookie instances (failure injection).
+func (cl *Cluster) Bookies() []*bookkeeper.Bookie { return cl.bookies }
+
+// StoreFor routes a qualified segment name to its owning store.
+func (cl *Cluster) StoreFor(name string) (*segstore.Store, error) {
+	id := keyspace.HashToContainer(name, cl.total)
+	si, ok := cl.containerHome[id]
+	if !ok {
+		return nil, fmt.Errorf("hosting: container %d has no home", id)
+	}
+	return cl.stores[si], nil
+}
+
+// ContainerFor routes a qualified segment name to its owning container.
+func (cl *Cluster) ContainerFor(name string) (*segstore.Container, error) {
+	st, err := cl.StoreFor(name)
+	if err != nil {
+		return nil, err
+	}
+	return st.Container(name)
+}
+
+// Close shuts everything down.
+func (cl *Cluster) Close() {
+	for _, st := range cl.stores {
+		_ = st.Close()
+	}
+	for _, b := range cl.bookies {
+		b.Close()
+	}
+	for _, d := range cl.disks {
+		d.Close()
+	}
+}
+
+var _ controller.DataPlane = (*Cluster)(nil)
+
+// CreateSegment implements controller.DataPlane.
+func (cl *Cluster) CreateSegment(name string) error {
+	st, err := cl.StoreFor(name)
+	if err != nil {
+		return err
+	}
+	return st.CreateSegment(name)
+}
+
+// SealSegment implements controller.DataPlane.
+func (cl *Cluster) SealSegment(name string) (int64, error) {
+	st, err := cl.StoreFor(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Seal(name)
+}
+
+// TruncateSegment implements controller.DataPlane.
+func (cl *Cluster) TruncateSegment(name string, offset int64) error {
+	st, err := cl.StoreFor(name)
+	if err != nil {
+		return err
+	}
+	return st.Truncate(name, offset)
+}
+
+// DeleteSegment implements controller.DataPlane.
+func (cl *Cluster) DeleteSegment(name string) error {
+	st, err := cl.StoreFor(name)
+	if err != nil {
+		return err
+	}
+	return st.DeleteSegment(name)
+}
+
+// SegmentInfo implements controller.DataPlane.
+func (cl *Cluster) SegmentInfo(name string) (segment.Info, error) {
+	st, err := cl.StoreFor(name)
+	if err != nil {
+		return segment.Info{}, err
+	}
+	return st.GetInfo(name)
+}
+
+// OwnerOf implements controller.DataPlane.
+func (cl *Cluster) OwnerOf(name string) (string, error) {
+	st, err := cl.StoreFor(name)
+	if err != nil {
+		return "", err
+	}
+	return st.ID(), nil
+}
+
+// LoadReports implements controller.DataPlane.
+func (cl *Cluster) LoadReports() []segstore.SegmentLoad {
+	var out []segstore.SegmentLoad
+	for _, st := range cl.stores {
+		out = append(out, st.LoadReport()...)
+	}
+	return out
+}
+
+// LoadByStore aggregates byte rates per store instance (Fig. 13's
+// per-segment-store workload view).
+func (cl *Cluster) LoadByStore() map[string]float64 {
+	out := make(map[string]float64, len(cl.stores))
+	for _, st := range cl.stores {
+		var sum float64
+		for _, l := range st.LoadReport() {
+			sum += l.BytesPerSec
+		}
+		out[st.ID()] = sum
+	}
+	return out
+}
+
+// RestartContainer simulates recovery of a crashed container on a given
+// store (tests). The container must not be running anywhere.
+func (cl *Cluster) RestartContainer(storeIdx, containerID int) error {
+	if storeIdx < 0 || storeIdx >= len(cl.stores) {
+		return errors.New("hosting: bad store index")
+	}
+	if _, err := cl.stores[storeIdx].StartContainer(containerID); err != nil {
+		return err
+	}
+	cl.containerHome[containerID] = storeIdx
+	return nil
+}
+
+// WaitForTiering blocks until every container has no un-tiered backlog or
+// the timeout elapses (tests, figures).
+func (cl *Cluster) WaitForTiering(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		pending := int64(0)
+		for _, st := range cl.stores {
+			for _, id := range st.HostedContainers() {
+				c, err := st.ContainerByID(id)
+				if err != nil {
+					continue
+				}
+				pending += c.Stats().UnflushedBytes
+			}
+		}
+		if pending == 0 {
+			return true
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return false
+}

@@ -1,0 +1,235 @@
+package hosting
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/lts"
+	"github.com/pravega-go/pravega/internal/segstore"
+	"github.com/pravega-go/pravega/internal/sim"
+)
+
+func newCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+func TestClusterRoutesBySegmentHash(t *testing.T) {
+	cl := newCluster(t, ClusterConfig{Stores: 3, ContainersPerStore: 2})
+	if cl.TotalContainers() != 6 {
+		t.Fatalf("TotalContainers = %d", cl.TotalContainers())
+	}
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("s/x/%d.#epoch.0", i)
+		st, err := cl.StoreFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := keyspace.HashToContainer(name, 6)
+		found := false
+		for _, id := range st.HostedContainers() {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("segment %s routed to store without container %d", name, want)
+		}
+	}
+}
+
+func TestClusterDataPlaneOps(t *testing.T) {
+	cl := newCluster(t, ClusterConfig{Stores: 2, ContainersPerStore: 2})
+	const seg = "s/x/7.#epoch.0"
+	if err := cl.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := cl.StoreFor(seg)
+	if _, err := st.Append(seg, []byte("abc"), "w", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	info, err := cl.SegmentInfo(seg)
+	if err != nil || info.Length != 3 {
+		t.Fatalf("info = %+v, %v", info, err)
+	}
+	owner, err := cl.OwnerOf(seg)
+	if err != nil || owner == "" {
+		t.Fatalf("OwnerOf = %q, %v", owner, err)
+	}
+	if n, err := cl.SealSegment(seg); err != nil || n != 3 {
+		t.Fatalf("Seal = %d, %v", n, err)
+	}
+	if err := cl.TruncateSegment(seg, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DeleteSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCrashContainerReassignment(t *testing.T) {
+	cl := newCluster(t, ClusterConfig{Stores: 2, ContainersPerStore: 1})
+	// Write into a segment owned by store 0's container (id 0).
+	var seg string
+	for i := 0; ; i++ {
+		seg = fmt.Sprintf("s/x/%d.#epoch.0", i)
+		if keyspace.HashToContainer(seg, 2) == 0 {
+			break
+		}
+	}
+	c0, err := cl.stores[0].ContainerByID(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for i := 0; i < 10; i++ {
+		data := []byte(fmt.Sprintf("crash-%d;", i))
+		if _, err := c0.Append(seg, data, "w", int64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+		want.Write(data)
+	}
+	// Store 0 crashes; its ephemeral claim disappears.
+	cl.stores[0].Crash()
+	if _, err := segstore.ContainerOwner(cl.Meta, 0); err == nil {
+		t.Fatal("claim survived the crash")
+	}
+	// Store 1 takes the container over; recovery replays the WAL.
+	if err := cl.RestartContainer(1, 0); err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+	c, err := cl.ContainerFor(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.GetInfo(seg)
+	if err != nil || info.Length != int64(want.Len()) {
+		t.Fatalf("recovered info = %+v, %v", info, err)
+	}
+	res, err := c.Read(seg, 0, want.Len(), time.Second)
+	if err != nil || !bytes.Equal(res.Data, want.Bytes()) {
+		t.Fatalf("recovered read mismatch (%d bytes, %v)", len(res.Data), err)
+	}
+	owner, err := segstore.ContainerOwner(cl.Meta, 0)
+	if err != nil || owner != "segmentstore-1" {
+		t.Fatalf("owner = %q, %v", owner, err)
+	}
+}
+
+func TestDoubleClaimRejected(t *testing.T) {
+	cl := newCluster(t, ClusterConfig{Stores: 2, ContainersPerStore: 1})
+	// Container 0 is already owned by store 0.
+	if _, err := cl.stores[1].StartContainer(0); err == nil {
+		t.Fatal("second claim for a live container succeeded")
+	}
+}
+
+func TestLTSOutageThrottlesAndRecovers(t *testing.T) {
+	simLTS := lts.NewSim(lts.NewMemory(), sim.ObjectStoreConfig{})
+	cl := newCluster(t, ClusterConfig{
+		Stores: 1, ContainersPerStore: 1, LTS: simLTS,
+		Container: segstore.ContainerConfig{
+			MaxUnflushedBytes: 8 << 10, // throttle quickly
+			FlushSizeBytes:    1 << 10,
+			FlushInterval:     20 * time.Millisecond,
+		},
+	})
+	const seg = "s/x/0.#epoch.0"
+	if err := cl.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := cl.StoreFor(seg)
+	c, _ := st.Container(seg)
+
+	simLTS.SetUnavailable(true)
+	payload := bytes.Repeat([]byte("t"), 1024)
+	// Writes beyond the un-tiered limit must block (integrated-tiering
+	// backpressure, §4.3); run them with a timeout watchdog.
+	done := make(chan int, 1)
+	go func() {
+		n := 0
+		for i := 0; i < 64; i++ {
+			if _, err := c.Append(seg, payload, "w", int64(i), 1); err != nil {
+				break
+			}
+			n++
+		}
+		done <- n
+	}()
+	select {
+	case n := <-done:
+		t.Fatalf("writer was never throttled during LTS outage (%d appends)", n)
+	case <-time.After(500 * time.Millisecond):
+		// Expected: the writer is stuck in the throttle.
+	}
+	if c.Stats().ThrottleWaits == 0 {
+		t.Fatal("throttle waits not recorded")
+	}
+	// LTS recovers: the backlog drains and the writer completes.
+	simLTS.SetUnavailable(false)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer still stuck after LTS recovery")
+	}
+	if !cl.WaitForTiering(10 * time.Second) {
+		t.Fatal("backlog never drained after recovery")
+	}
+}
+
+func TestBookieCrashClusterKeepsWorking(t *testing.T) {
+	cl := newCluster(t, ClusterConfig{Stores: 1, ContainersPerStore: 1, Bookies: 3})
+	const seg = "s/x/0.#epoch.0"
+	if err := cl.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := cl.StoreFor(seg)
+	if _, err := st.Append(seg, []byte("before"), "w", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// One bookie down: ackQuorum 2 of 3 still satisfiable.
+	cl.Bookies()[0].Crash()
+	if _, err := st.Append(seg, []byte("after"), "w", 2, 1); err != nil {
+		t.Fatalf("append with one bookie down: %v", err)
+	}
+	res, err := st.Read(seg, 0, 64, time.Second)
+	if err != nil || len(res.Data) != len("before")+len("after") {
+		t.Fatalf("read = %d bytes, %v", len(res.Data), err)
+	}
+}
+
+func TestLoadByStoreAggregates(t *testing.T) {
+	cl := newCluster(t, ClusterConfig{Stores: 2, ContainersPerStore: 1})
+	const seg = "s/x/1.#epoch.0"
+	if err := cl.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := cl.StoreFor(seg)
+	for i := 0; i < 50; i++ {
+		if _, err := st.Append(seg, bytes.Repeat([]byte("l"), 100), "w", int64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loads := cl.LoadByStore()
+	if len(loads) != 2 {
+		t.Fatalf("LoadByStore returned %d stores", len(loads))
+	}
+	var total float64
+	for _, v := range loads {
+		total += v
+	}
+	if total <= 0 {
+		t.Fatal("no load reported after 50 appends")
+	}
+}

@@ -1,0 +1,172 @@
+package keyspace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashKeyRange(t *testing.T) {
+	for i := 0; i < 10_000; i++ {
+		h := HashKey(fmt.Sprintf("key-%d", i))
+		if h < 0 || h >= 1 {
+			t.Fatalf("HashKey out of [0,1): %v", h)
+		}
+	}
+}
+
+func TestHashKeyStable(t *testing.T) {
+	// The mapping is part of the protocol: writers, readers and the
+	// controller must agree across processes and releases.
+	if HashKey("sensor-1") != HashKey("sensor-1") {
+		t.Fatal("HashKey not deterministic")
+	}
+}
+
+func TestHashKeyUniformAcrossBuckets(t *testing.T) {
+	// Short sequential keys must spread evenly (regression: raw FNV-1a
+	// high bits sent 57 short keys into 2 of 4 buckets).
+	const buckets, keys = 8, 8000
+	counts := make([]int, buckets)
+	for i := 0; i < keys; i++ {
+		h := HashKey(fmt.Sprintf("user-%d", i))
+		counts[int(h*buckets)]++
+	}
+	expect := keys / buckets
+	for b, c := range counts {
+		if c < expect/2 || c > expect*2 {
+			t.Fatalf("bucket %d has %d keys, expected ~%d: %v", b, c, expect, counts)
+		}
+	}
+}
+
+func TestSplitExactCover(t *testing.T) {
+	r := Range{Low: 0.25, High: 0.75}
+	for n := 1; n <= 7; n++ {
+		parts := r.Split(n)
+		if len(parts) != n {
+			t.Fatalf("Split(%d) returned %d parts", n, len(parts))
+		}
+		if parts[0].Low != r.Low || parts[n-1].High != r.High {
+			t.Fatalf("Split(%d) endpoints %v..%v", n, parts[0].Low, parts[n-1].High)
+		}
+		for i := 0; i+1 < n; i++ {
+			if parts[i].High != parts[i+1].Low {
+				t.Fatalf("Split(%d) gap between %v and %v", n, parts[i], parts[i+1])
+			}
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Range{Low: 0, High: 0.5}
+	b := Range{Low: 0.5, High: 1}
+	m, err := Merge(a, b)
+	if err != nil || m != FullRange() {
+		t.Fatalf("Merge = %v, %v", m, err)
+	}
+	m2, err := Merge(b, a) // order independent
+	if err != nil || m2 != FullRange() {
+		t.Fatalf("Merge reversed = %v, %v", m2, err)
+	}
+	if _, err := Merge(Range{0, 0.3}, Range{0.5, 1}); err == nil {
+		t.Fatal("merging non-adjacent ranges must fail")
+	}
+}
+
+func TestRangePredicates(t *testing.T) {
+	r := Range{Low: 0.2, High: 0.6}
+	if !r.Contains(0.2) || r.Contains(0.6) || r.Contains(0.1) {
+		t.Fatal("Contains is not half-open [low, high)")
+	}
+	if !r.Overlaps(Range{0.5, 0.9}) || r.Overlaps(Range{0.6, 0.9}) {
+		t.Fatal("Overlaps wrong at shared boundary")
+	}
+	if !r.Adjacent(Range{0.6, 0.9}) || !r.Adjacent(Range{0.1, 0.2}) || r.Adjacent(Range{0.7, 0.8}) {
+		t.Fatal("Adjacent wrong")
+	}
+	if !r.IsValid() || (Range{0.5, 0.5}).IsValid() || (Range{-0.1, 0.5}).IsValid() {
+		t.Fatal("IsValid wrong")
+	}
+	if math.Abs(r.Width()-0.4) > 1e-15 {
+		t.Fatalf("Width = %v", r.Width())
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	good := FullRange().Split(5)
+	if err := Partition(good); err != nil {
+		t.Fatalf("valid partition rejected: %v", err)
+	}
+	if err := Partition(nil); err == nil {
+		t.Fatal("empty set accepted")
+	}
+	if err := Partition([]Range{{0.1, 1}}); err == nil {
+		t.Fatal("partition not starting at 0 accepted")
+	}
+	if err := Partition([]Range{{0, 0.5}, {0.6, 1}}); err == nil {
+		t.Fatal("gap accepted")
+	}
+	if err := Partition([]Range{{0, 0.5}, {0.5, 0.9}}); err == nil {
+		t.Fatal("short partition accepted")
+	}
+}
+
+// TestSplitMergePartitionProperty: any sequence of splits of the full range
+// still exactly partitions [0,1); merging adjacent results restores a valid
+// partition.
+func TestSplitMergePartitionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parts := FullRange().Split(1 + rng.Intn(3))
+		for op := 0; op < 20; op++ {
+			if rng.Intn(2) == 0 || len(parts) == 1 {
+				// Split a random element in place.
+				i := rng.Intn(len(parts))
+				sub := parts[i].Split(2 + rng.Intn(3))
+				parts = append(parts[:i], append(sub, parts[i+1:]...)...)
+			} else {
+				// Merge a random adjacent pair.
+				i := rng.Intn(len(parts) - 1)
+				m, err := Merge(parts[i], parts[i+1])
+				if err != nil {
+					return false
+				}
+				parts = append(parts[:i], append([]Range{m}, parts[i+2:]...)...)
+			}
+			if Partition(parts) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashToContainerStableAndBounded(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		for i := 0; i < 200; i++ {
+			name := fmt.Sprintf("scope/stream/%d.#epoch.0", i)
+			c := HashToContainer(name, n)
+			if c < 0 || c >= n {
+				t.Fatalf("container %d out of [0,%d)", c, n)
+			}
+			if c != HashToContainer(name, n) {
+				t.Fatal("HashToContainer not deterministic")
+			}
+		}
+	}
+}
+
+func TestHashToContainerPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	HashToContainer("x", 0)
+}

@@ -1,0 +1,228 @@
+// Package lts defines the long-term storage tier (§2.2, §4.3): segments are
+// persisted as sequences of non-overlapping chunks, each chunk a contiguous
+// range of segment bytes stored as one object/file. Backends provided:
+//
+//   - Memory: in-process map (unit tests).
+//   - FS: real files under a directory (NFS-style deployments).
+//   - Sim: performance-modelled EFS/S3-like store with per-stream and
+//     aggregate throughput caps; optionally discards payloads.
+//   - NoOp: accepts writes, stores nothing — the paper's test feature used
+//     in Fig. 7 ("NoOp LTS").
+//
+// Chunk *metadata* is not stored here: the storage writer keeps it in a
+// Pravega key-value table with conditional updates (§4.3).
+package lts
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Errors returned by chunk storage.
+var (
+	ErrChunkExists   = errors.New("lts: chunk already exists")
+	ErrNoChunk       = errors.New("lts: chunk does not exist")
+	ErrOutOfRange    = errors.New("lts: read beyond chunk length")
+	ErrUnavailable   = errors.New("lts: storage unavailable")
+	ErrChunkSealed   = errors.New("lts: chunk sealed")
+	ErrShortPayload  = errors.New("lts: payload shorter than requested range")
+	ErrInvalidOffset = errors.New("lts: write offset must equal chunk length")
+)
+
+// ChunkStorage stores immutable-once-sealed chunk objects. Writes are
+// append-only at the chunk tail, matching how object/file stores are used
+// by Pravega's simplified tier-2 design.
+type ChunkStorage interface {
+	// Create makes an empty chunk.
+	Create(name string) error
+	// Write appends data at offset, which must equal the current length.
+	Write(name string, offset int64, data []byte) error
+	// Read fills buf from offset. Returns the bytes read.
+	Read(name string, offset int64, buf []byte) (int, error)
+	// Length returns the chunk's current size.
+	Length(name string) (int64, error)
+	// Delete removes the chunk.
+	Delete(name string) error
+	// Exists reports whether the chunk is present.
+	Exists(name string) (bool, error)
+}
+
+// Memory is a map-backed ChunkStorage for tests and examples.
+type Memory struct {
+	mu     sync.RWMutex
+	chunks map[string][]byte
+}
+
+var _ ChunkStorage = (*Memory)(nil)
+
+// NewMemory returns an empty in-memory store.
+func NewMemory() *Memory { return &Memory{chunks: make(map[string][]byte)} }
+
+// Create implements ChunkStorage.
+func (m *Memory) Create(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.chunks[name]; ok {
+		return fmt.Errorf("%w: %s", ErrChunkExists, name)
+	}
+	m.chunks[name] = nil
+	return nil
+}
+
+// Write implements ChunkStorage.
+func (m *Memory) Write(name string, offset int64, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.chunks[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoChunk, name)
+	}
+	if offset != int64(len(c)) {
+		return fmt.Errorf("%w: offset %d, length %d", ErrInvalidOffset, offset, len(c))
+	}
+	m.chunks[name] = append(c, data...)
+	return nil
+}
+
+// Read implements ChunkStorage.
+func (m *Memory) Read(name string, offset int64, buf []byte) (int, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.chunks[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoChunk, name)
+	}
+	if offset < 0 || offset > int64(len(c)) {
+		return 0, fmt.Errorf("%w: offset %d, length %d", ErrOutOfRange, offset, len(c))
+	}
+	n := copy(buf, c[offset:])
+	return n, nil
+}
+
+// Length implements ChunkStorage.
+func (m *Memory) Length(name string) (int64, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c, ok := m.chunks[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoChunk, name)
+	}
+	return int64(len(c)), nil
+}
+
+// Delete implements ChunkStorage.
+func (m *Memory) Delete(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.chunks[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoChunk, name)
+	}
+	delete(m.chunks, name)
+	return nil
+}
+
+// Exists implements ChunkStorage.
+func (m *Memory) Exists(name string) (bool, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.chunks[name]
+	return ok, nil
+}
+
+// ChunkCount reports the number of stored chunks (test helper).
+func (m *Memory) ChunkCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.chunks)
+}
+
+// NoOp discards all data, tracking only chunk lengths. It reproduces the
+// paper's "NoOp LTS" test feature (§5.4): metadata flows, data does not.
+type NoOp struct {
+	mu      sync.Mutex
+	lengths map[string]int64
+}
+
+var _ ChunkStorage = (*NoOp)(nil)
+
+// NewNoOp returns a NoOp store.
+func NewNoOp() *NoOp { return &NoOp{lengths: make(map[string]int64)} }
+
+// Create implements ChunkStorage.
+func (n *NoOp) Create(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.lengths[name]; ok {
+		return fmt.Errorf("%w: %s", ErrChunkExists, name)
+	}
+	n.lengths[name] = 0
+	return nil
+}
+
+// Write implements ChunkStorage.
+func (n *NoOp) Write(name string, offset int64, data []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.lengths[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoChunk, name)
+	}
+	if offset != l {
+		return fmt.Errorf("%w: offset %d, length %d", ErrInvalidOffset, offset, l)
+	}
+	n.lengths[name] = l + int64(len(data))
+	return nil
+}
+
+// Read implements ChunkStorage; it returns zero bytes of the right length.
+func (n *NoOp) Read(name string, offset int64, buf []byte) (int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.lengths[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoChunk, name)
+	}
+	if offset < 0 || offset > l {
+		return 0, fmt.Errorf("%w: offset %d, length %d", ErrOutOfRange, offset, l)
+	}
+	avail := l - offset
+	cnt := int64(len(buf))
+	if cnt > avail {
+		cnt = avail
+	}
+	for i := int64(0); i < cnt; i++ {
+		buf[i] = 0
+	}
+	return int(cnt), nil
+}
+
+// Length implements ChunkStorage.
+func (n *NoOp) Length(name string) (int64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l, ok := n.lengths[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoChunk, name)
+	}
+	return l, nil
+}
+
+// Delete implements ChunkStorage.
+func (n *NoOp) Delete(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.lengths[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoChunk, name)
+	}
+	delete(n.lengths, name)
+	return nil
+}
+
+// Exists implements ChunkStorage.
+func (n *NoOp) Exists(name string) (bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.lengths[name]
+	return ok, nil
+}

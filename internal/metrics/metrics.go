@@ -1,0 +1,302 @@
+// Package metrics provides the measurement primitives used by the benchmark
+// harness and by the segment store's load reporter: latency histograms with
+// percentile queries, monotonic counters, and windowed rate meters.
+//
+// The histogram uses logarithmic bucketing (HDR-style) so that recording is
+// allocation-free and O(1) while percentile error stays below ~1%.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram records int64 values (typically latencies in microseconds) in
+// logarithmic buckets. It is safe for concurrent use.
+type Histogram struct {
+	buckets [bucketCount]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	min     atomic.Int64
+}
+
+const (
+	// subBits controls per-decade resolution: 2^subBits linear sub-buckets
+	// per power of two, giving worst-case relative error 1/2^subBits.
+	subBits     = 7
+	subCount    = 1 << subBits
+	maxExponent = 40 // values up to 2^40 (~12.7 days in µs)
+	bucketCount = maxExponent * subCount
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subCount {
+		return int(v)
+	}
+	exp := 63 - leadingZeros(uint64(v))
+	shift := exp - subBits
+	sub := int(v>>uint(shift)) - subCount
+	idx := (exp-subBits+1)*subCount + sub
+	if idx >= bucketCount {
+		idx = bucketCount - 1
+	}
+	return idx
+}
+
+func bucketValue(idx int) int64 {
+	if idx < subCount {
+		return int64(idx)
+	}
+	exp := idx/subCount + subBits - 1
+	sub := idx % subCount
+	return (int64(subCount) + int64(sub)) << uint(exp-subBits)
+}
+
+func leadingZeros(v uint64) int {
+	n := 0
+	for i := 63; i >= 0; i-- {
+		if v&(1<<uint(i)) != 0 {
+			return n
+		}
+		n++
+	}
+	return 64
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// RecordDuration records a duration in microseconds.
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Microseconds()) }
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the arithmetic mean of observations, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(c)
+}
+
+// Max returns the largest recorded value, or 0 when empty.
+func (h *Histogram) Max() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Min returns the smallest recorded value, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Quantile returns the value at quantile q in [0,1]. Empty histograms
+// return 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < bucketCount; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			return bucketValue(i)
+		}
+	}
+	return h.max.Load()
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+	h.min.Store(math.MaxInt64)
+}
+
+// Snapshot captures the common percentiles in one pass.
+type Snapshot struct {
+	Count          int64
+	Mean, P50, P95 float64
+	P99, Max       float64
+}
+
+// Snapshot returns the current percentile summary (values in the recorded
+// unit, typically microseconds).
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   float64(h.Quantile(0.50)),
+		P95:   float64(h.Quantile(0.95)),
+		P99:   float64(h.Quantile(0.99)),
+		Max:   float64(h.Max()),
+	}
+}
+
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// RateMeter measures event and byte rates over a sliding window of fixed
+// sub-intervals. The segment store's load reporter uses it to implement the
+// "sustained rate" trigger of the auto-scaling policy (§3.1).
+type RateMeter struct {
+	mu       sync.Mutex
+	interval time.Duration
+	slots    []rateSlot
+	now      func() time.Time
+}
+
+type rateSlot struct {
+	start  time.Time
+	events int64
+	bytes  int64
+}
+
+// NewRateMeter creates a meter with the given number of sub-interval slots
+// each of the given length. Rate queries average over the full window.
+func NewRateMeter(slots int, interval time.Duration) *RateMeter {
+	if slots < 1 {
+		slots = 1
+	}
+	return &RateMeter{
+		interval: interval,
+		slots:    make([]rateSlot, 0, slots),
+		now:      time.Now,
+	}
+}
+
+// SetClock overrides the time source (used by tests).
+func (m *RateMeter) SetClock(now func() time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now = now
+}
+
+// Record adds events and bytes at the current time.
+func (m *RateMeter) Record(events, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.now()
+	if n := len(m.slots); n == 0 || t.Sub(m.slots[n-1].start) >= m.interval {
+		if len(m.slots) == cap(m.slots) {
+			copy(m.slots, m.slots[1:])
+			m.slots = m.slots[:len(m.slots)-1]
+		}
+		m.slots = append(m.slots, rateSlot{start: t})
+	}
+	s := &m.slots[len(m.slots)-1]
+	s.events += events
+	s.bytes += bytes
+}
+
+// Rates returns the average events/s and bytes/s over the window currently
+// covered by the meter. Windows shorter than one interval report zero to
+// avoid spurious spikes.
+func (m *RateMeter) Rates() (eventsPerSec, bytesPerSec float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.slots) == 0 {
+		return 0, 0
+	}
+	var ev, by int64
+	for _, s := range m.slots {
+		ev += s.events
+		by += s.bytes
+	}
+	span := m.now().Sub(m.slots[0].start)
+	if span < m.interval {
+		span = m.interval
+	}
+	sec := span.Seconds()
+	return float64(ev) / sec, float64(by) / sec
+}
+
+// WindowFull reports whether the meter has accumulated a full window of
+// samples, i.e. whether Rates reflects a sustained observation.
+func (m *RateMeter) WindowFull() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.slots) == cap(m.slots)
+}
+
+// Percentile computes the p-th percentile of a raw sample slice. It is used
+// by tests to cross-check the histogram implementation.
+func Percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

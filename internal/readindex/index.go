@@ -1,0 +1,235 @@
+package readindex
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/pravega-go/pravega/internal/blockcache"
+)
+
+// Errors returned by the index.
+var (
+	ErrTruncated = errors.New("readindex: offset is before the segment's truncation point")
+	ErrGap       = errors.New("readindex: offset not covered by any entry")
+)
+
+// Location says where an entry's bytes live.
+type Location int
+
+// Entry locations.
+const (
+	// InCache means the bytes are in the block cache at CacheAddr.
+	InCache Location = iota
+	// InLTS means the bytes must be fetched from long-term storage.
+	InLTS
+)
+
+// Entry describes one contiguous range of segment bytes.
+type Entry struct {
+	// Offset is the range's start offset within the segment.
+	Offset int64
+	// Length of the range.
+	Length int64
+	// Where the bytes are.
+	Where Location
+	// CacheAddr locates the bytes when Where == InCache.
+	CacheAddr blockcache.Address
+	// Generation is bumped on every access; the eviction scan removes the
+	// stalest cached entries first (the "usage patterns" metadata of §4.2).
+	Generation int64
+}
+
+// End returns the offset one past the entry's last byte.
+func (e *Entry) End() int64 { return e.Offset + e.Length }
+
+// Index is the per-segment read index. It is safe for concurrent use.
+type Index struct {
+	mu         sync.Mutex
+	t          tree
+	truncated  int64 // offsets below this are gone
+	length     int64 // total segment length indexed (high-water mark)
+	generation int64
+}
+
+// New creates an empty index.
+func New() *Index { return &Index{} }
+
+// Add registers a new entry. Adjacent cached tail entries are not merged
+// automatically; the segment container appends into the tail entry via
+// UpdateTail instead.
+func (x *Index) Add(e Entry) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	ent := e
+	x.t.put(e.Offset, &ent)
+	if end := e.End(); end > x.length {
+		x.length = end
+	}
+}
+
+// TailEntry returns a copy of the entry with the highest offset, or false.
+func (x *Index) TailEntry() (Entry, bool) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e := x.t.max()
+	if e == nil {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// ExtendTail grows the last entry by n bytes and updates its cache address
+// (appends write into the entry's last block, possibly chaining a new one).
+// It returns false when the index is empty or the tail is not cached.
+func (x *Index) ExtendTail(n int64, newAddr blockcache.Address) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	e := x.t.max()
+	if e == nil || e.Where != InCache {
+		return false
+	}
+	e.Length += n
+	e.CacheAddr = newAddr
+	if end := e.End(); end > x.length {
+		x.length = end
+	}
+	return true
+}
+
+// Find returns the entry containing offset, with its generation bumped.
+func (x *Index) Find(offset int64) (Entry, error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if offset < x.truncated {
+		return Entry{}, fmt.Errorf("%w: offset %d < truncation %d", ErrTruncated, offset, x.truncated)
+	}
+	e := x.t.floor(offset)
+	if e == nil || offset >= e.End() {
+		return Entry{}, fmt.Errorf("%w: offset %d", ErrGap, offset)
+	}
+	x.generation++
+	e.Generation = x.generation
+	return *e, nil
+}
+
+// Replace swaps the entry at offset for a new descriptor (e.g. after
+// fetching LTS bytes into the cache, or after evicting a cached entry to
+// LTS-backed state). The offset must match an existing entry.
+func (x *Index) Replace(e Entry) bool {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	old := x.t.get(e.Offset)
+	if old == nil {
+		return false
+	}
+	ent := e
+	ent.Generation = old.Generation
+	x.t.put(e.Offset, &ent)
+	return true
+}
+
+// TruncateBefore drops all entries that end at or before offset and records
+// the truncation point. It returns the cache addresses of dropped cached
+// entries so the caller can free them.
+func (x *Index) TruncateBefore(offset int64) []blockcache.Address {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if offset > x.truncated {
+		x.truncated = offset
+	}
+	var drop []int64
+	var freed []blockcache.Address
+	x.t.ascend(0, offset, func(e *Entry) bool {
+		if e.End() <= offset {
+			drop = append(drop, e.Offset)
+			if e.Where == InCache {
+				freed = append(freed, e.CacheAddr)
+			}
+		}
+		return true
+	})
+	for _, k := range drop {
+		x.t.delete(k)
+	}
+	return freed
+}
+
+// Truncation returns the current truncation offset.
+func (x *Index) Truncation() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.truncated
+}
+
+// Length returns the highest indexed offset (the segment length as visible
+// to readers).
+func (x *Index) Length() int64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.length
+}
+
+// EvictionCandidates returns up to max cached entries in ascending
+// generation order (stalest first), excluding the tail entry, which appends
+// still target.
+func (x *Index) EvictionCandidates(max int) []Entry {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	tail := x.t.max()
+	var out []Entry
+	x.t.ascend(x.truncated, int64(1)<<62, func(e *Entry) bool {
+		if e.Where == InCache && e != tail {
+			out = append(out, *e)
+		}
+		return true
+	})
+	// Selection sort of the stalest `max`: entry counts are small per scan.
+	for i := 0; i < len(out) && i < max; i++ {
+		minIdx := i
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Generation < out[minIdx].Generation {
+				minIdx = j
+			}
+		}
+		out[i], out[minIdx] = out[minIdx], out[i]
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+// Entries returns a copy of all entries in offset order (tests/debug).
+func (x *Index) Entries() []Entry {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	out := make([]Entry, 0, x.t.size)
+	x.t.ascend(-1<<62, 1<<62, func(e *Entry) bool {
+		out = append(out, *e)
+		return true
+	})
+	return out
+}
+
+// Validate checks tree invariants plus entry contiguity (no overlaps).
+// Used by property tests.
+func (x *Index) Validate() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if !x.t.validate() {
+		return errors.New("readindex: AVL invariant violated")
+	}
+	var prev *Entry
+	var err error
+	x.t.ascend(-1<<62, 1<<62, func(e *Entry) bool {
+		if prev != nil && e.Offset < prev.End() {
+			err = fmt.Errorf("readindex: entries overlap: %v then %v", *prev, *e)
+			return false
+		}
+		p := *e
+		prev = &p
+		return true
+	})
+	return err
+}

@@ -1,0 +1,81 @@
+// Package segment defines the segment model shared by the data plane and
+// the client: qualified names, per-segment info, and the attribute map used
+// for exactly-once writer deduplication (§3.2). Segment stores are agnostic
+// to streams (§2.2); a segment's identity here is its fully qualified name.
+package segment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ID identifies a segment within a stream. Number encodes the creation
+// epoch in the high 32 bits and a sequence number in the low 32 bits, like
+// Pravega's segmentId, so ids stay unique across scaling events.
+type ID struct {
+	Scope  string
+	Stream string
+	Number int64
+}
+
+// MakeNumber packs (epoch, seq) into a segment number.
+func MakeNumber(epoch, seq int32) int64 { return int64(epoch)<<32 | int64(uint32(seq)) }
+
+// Epoch extracts the creation epoch from the segment number.
+func (id ID) Epoch() int32 { return int32(id.Number >> 32) }
+
+// Seq extracts the within-epoch sequence number.
+func (id ID) Seq() int32 { return int32(id.Number & 0xFFFFFFFF) }
+
+// QualifiedName returns the globally unique segment name used by the
+// segment store and the container hash.
+func (id ID) QualifiedName() string {
+	return fmt.Sprintf("%s/%s/%d.#epoch.%d", id.Scope, id.Stream, id.Seq(), id.Epoch())
+}
+
+// ParseQualifiedName inverts QualifiedName.
+func ParseQualifiedName(name string) (ID, error) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 3 {
+		return ID{}, fmt.Errorf("segment: malformed qualified name %q", name)
+	}
+	var seq int32
+	var epoch int32
+	if _, err := fmt.Sscanf(parts[2], "%d.#epoch.%d", &seq, &epoch); err != nil {
+		return ID{}, fmt.Errorf("segment: malformed segment part %q: %w", parts[2], err)
+	}
+	return ID{Scope: parts[0], Stream: parts[1], Number: MakeNumber(epoch, seq)}, nil
+}
+
+func (id ID) String() string { return id.QualifiedName() }
+
+// Info is the metadata a segment store reports about one segment.
+type Info struct {
+	Name string
+	// Length is the durable length (all bytes acknowledged to writers).
+	Length int64
+	// StartOffset is the truncation point; reads below it fail.
+	StartOffset int64
+	// Sealed segments reject appends.
+	Sealed bool
+	// StorageLength is the prefix already moved to long-term storage.
+	StorageLength int64
+}
+
+// Attributes is the per-segment attribute map (§3.2): for event-writer
+// deduplication the key is the writer id and the value the last event
+// number appended. A copy is taken on read; mutation goes through the
+// container's operation pipeline so it is WAL-durable.
+type Attributes map[string]int64
+
+// Clone returns a deep copy.
+func (a Attributes) Clone() Attributes {
+	if a == nil {
+		return nil
+	}
+	out := make(Attributes, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}

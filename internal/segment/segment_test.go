@@ -1,0 +1,56 @@
+package segment
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeNumberRoundTrip(t *testing.T) {
+	f := func(epoch, seq int32) bool {
+		if epoch < 0 || seq < 0 {
+			return true
+		}
+		id := ID{Scope: "s", Stream: "x", Number: MakeNumber(epoch, seq)}
+		return id.Epoch() == epoch && id.Seq() == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQualifiedNameRoundTrip(t *testing.T) {
+	id := ID{Scope: "iot", Stream: "telemetry", Number: MakeNumber(3, 17)}
+	qn := id.QualifiedName()
+	got, err := ParseQualifiedName(qn)
+	if err != nil || got != id {
+		t.Fatalf("ParseQualifiedName(%q) = %+v, %v", qn, got, err)
+	}
+}
+
+func TestQualifiedNameUniqueAcrossEpochs(t *testing.T) {
+	a := ID{Scope: "s", Stream: "x", Number: MakeNumber(0, 1)}
+	b := ID{Scope: "s", Stream: "x", Number: MakeNumber(1, 1)}
+	if a.QualifiedName() == b.QualifiedName() {
+		t.Fatal("epoch not part of the qualified name")
+	}
+}
+
+func TestParseQualifiedNameErrors(t *testing.T) {
+	for _, bad := range []string{"", "a/b", "a/b/c/d", "a/b/notanumber"} {
+		if _, err := ParseQualifiedName(bad); err == nil {
+			t.Fatalf("ParseQualifiedName(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestAttributesClone(t *testing.T) {
+	a := Attributes{"w1": 5, "w2": 9}
+	c := a.Clone()
+	c["w1"] = 100
+	if a["w1"] != 5 {
+		t.Fatal("Clone is not a deep copy")
+	}
+	if Attributes(nil).Clone() != nil {
+		t.Fatal("nil Clone should stay nil")
+	}
+}

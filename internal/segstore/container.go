@@ -1,0 +1,508 @@
+package segstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/blockcache"
+	"github.com/pravega-go/pravega/internal/metrics"
+	"github.com/pravega-go/pravega/internal/readindex"
+	"github.com/pravega-go/pravega/internal/segment"
+	"github.com/pravega-go/pravega/internal/wal"
+)
+
+// Errors returned by container operations.
+var (
+	ErrSegmentExists     = errors.New("segstore: segment already exists")
+	ErrSegmentNotFound   = errors.New("segstore: segment not found")
+	ErrSegmentSealed     = errors.New("segstore: segment is sealed")
+	ErrSegmentTruncated  = errors.New("segstore: offset below truncation point")
+	ErrContainerDown     = errors.New("segstore: container is shut down")
+	ErrConditionalFailed = errors.New("segstore: conditional append check failed")
+	ErrWrongContainer    = errors.New("segstore: segment maps to a different container")
+	ErrReadTimeout       = errors.New("segstore: tail read timed out")
+)
+
+// flushItem is applied-but-not-yet-tiered append data awaiting the storage
+// writer.
+type flushItem struct {
+	addr   wal.Address
+	offset int64
+	data   []byte
+}
+
+// segState is the container's in-memory state for one segment.
+type segState struct {
+	name          string
+	sealed        bool
+	length        int64 // durable length (all acked appends)
+	pendingLength int64 // includes assigned, not-yet-acked appends
+	startOffset   int64 // truncation point
+	storageLength int64 // prefix safely in LTS
+	attributes    segment.Attributes
+	index         *readindex.Index
+	chunks        []chunkMeta
+	unflushed     []flushItem
+	waiters       []chan struct{}
+	pendingSeal   bool
+	meter         *metrics.RateMeter
+}
+
+// chunkMeta locates one LTS chunk of a segment (§4.3). The list is ordered
+// and the chunks are non-overlapping and contiguous.
+type chunkMeta struct {
+	Name        string `json:"name"`
+	StartOffset int64  `json:"startOffset"`
+	Length      int64  `json:"length"`
+}
+
+// checkpointState is the serialized container metadata snapshot (§4.4).
+type checkpointState struct {
+	Segments map[string]checkpointSegment `json:"segments"`
+}
+
+type checkpointSegment struct {
+	Sealed        bool               `json:"sealed"`
+	Length        int64              `json:"length"`
+	StartOffset   int64              `json:"startOffset"`
+	StorageLength int64              `json:"storageLength"`
+	Attributes    segment.Attributes `json:"attributes"`
+	Chunks        []chunkMeta        `json:"chunks"`
+}
+
+// Container is one segment container: the unit of data-plane ownership.
+type Container struct {
+	cfg   ContainerConfig
+	log   *wal.Log
+	cache *blockcache.Cache
+
+	mu       sync.Mutex
+	segments map[string]*segState
+	down     bool
+	downErr  error
+	downFlag atomic.Bool // mirrors down for lock-free checks
+
+	// Operation pipeline.
+	opQueue chan *pendingOp
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	// Frame completion reordering.
+	frameMu       sync.Mutex
+	nextFrameSeq  int64
+	nextApplySeq  int64
+	pendingFrames map[int64]*frameResult
+
+	// Adaptive batching statistics (EWMA).
+	statMu        sync.Mutex
+	recentLatency time.Duration
+	avgWriteSize  float64
+
+	// Storage-writer bookkeeping.
+	flushMu          sync.Mutex
+	flushCond        *sync.Cond
+	unflushedBytes   int64
+	lastCheckpoint   wal.Address
+	hasCheckpoint    bool
+	flushKick        chan struct{}
+	lastFlushErr     error
+	throttleWaits    metrics.Counter
+	framesWritten    metrics.Counter
+	bytesWritten     metrics.Counter
+	opsProcessed     metrics.Counter
+	checkpointsTaken metrics.Counter
+}
+
+type pendingOp struct {
+	op   Operation
+	done chan opResult
+}
+
+type opResult struct {
+	offset int64
+	err    error
+}
+
+// NewContainer opens the container, performing recovery: it takes over the
+// container's WAL (fencing any previous instance), restores the last
+// metadata checkpoint and replays the tail of the log (§4.4).
+func NewContainer(cfg ContainerConfig) (*Container, error) {
+	cfg.defaults()
+	c := &Container{
+		cfg:           cfg,
+		cache:         blockcache.New(cfg.Cache),
+		segments:      make(map[string]*segState),
+		opQueue:       make(chan *pendingOp, cfg.OpQueueLen),
+		stop:          make(chan struct{}),
+		pendingFrames: make(map[int64]*frameResult),
+		flushKick:     make(chan struct{}, 1),
+		recentLatency: 2 * time.Millisecond,
+	}
+	c.flushCond = sync.NewCond(&c.flushMu)
+
+	log, err := wal.Open(wal.Config{
+		Name:          fmt.Sprintf("container-%d", cfg.ID),
+		Client:        cfg.BK,
+		Meta:          cfg.Meta,
+		Replication:   cfg.Replication,
+		RolloverBytes: cfg.WALRolloverBytes,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("segstore: opening WAL for container %d: %w", cfg.ID, err)
+	}
+	c.log = log
+
+	if err := c.recover(); err != nil {
+		_ = log.Close()
+		return nil, fmt.Errorf("segstore: recovering container %d: %w", cfg.ID, err)
+	}
+
+	c.wg.Add(3)
+	go c.frameBuilderLoop()
+	go c.storageWriterLoop()
+	go c.checkpointLoop()
+	return c, nil
+}
+
+// ID returns the container id.
+func (c *Container) ID() int { return c.cfg.ID }
+
+// Epoch returns the container's WAL epoch (its fencing token).
+func (c *Container) Epoch() int64 { return c.log.Epoch() }
+
+// newSegState builds an empty in-memory segment record.
+func (c *Container) newSegState(name string) *segState {
+	return &segState{
+		name:       name,
+		attributes: make(segment.Attributes),
+		index:      readindex.New(),
+		meter:      metrics.NewRateMeter(c.cfg.LoadSlots, c.cfg.LoadWindow/time.Duration(c.cfg.LoadSlots)),
+	}
+}
+
+// recover rebuilds in-memory state from the WAL (§4.4): restore the last
+// checkpoint, then re-apply every subsequent operation.
+func (c *Container) recover() error {
+	entries, err := c.log.ReadAll()
+	if err != nil {
+		return err
+	}
+	// Locate the last checkpoint.
+	lastCP := -1
+	var decoded [][]Operation
+	for i, e := range entries {
+		ops, err := UnmarshalFrame(e.Data)
+		if err != nil {
+			return fmt.Errorf("frame at %v: %w", e.Addr, err)
+		}
+		decoded = append(decoded, ops)
+		for _, op := range ops {
+			if op.Type == OpCheckpoint {
+				lastCP = i
+			}
+		}
+	}
+	if lastCP >= 0 {
+		for _, op := range decoded[lastCP] {
+			if op.Type == OpCheckpoint {
+				if err := c.restoreCheckpoint(op.Checkpoint); err != nil {
+					return err
+				}
+			}
+		}
+		c.flushMu.Lock()
+		c.lastCheckpoint = entries[lastCP].Addr
+		c.hasCheckpoint = true
+		c.flushMu.Unlock()
+	}
+	start := lastCP + 1
+	for i := start; i < len(entries); i++ {
+		for j := range decoded[i] {
+			c.applyRecovered(&decoded[i][j], entries[i].Addr)
+		}
+	}
+	// Align pending lengths with recovered durable lengths.
+	c.mu.Lock()
+	for _, s := range c.segments {
+		s.pendingLength = s.length
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Container) restoreCheckpoint(data []byte) error {
+	var cp checkpointState
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return fmt.Errorf("segstore: decoding checkpoint: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, cs := range cp.Segments {
+		s := c.newSegState(name)
+		s.sealed = cs.Sealed
+		s.length = cs.Length
+		s.startOffset = cs.StartOffset
+		s.storageLength = cs.StorageLength
+		s.attributes = cs.Attributes.Clone()
+		if s.attributes == nil {
+			s.attributes = make(segment.Attributes)
+		}
+		s.chunks = append([]chunkMeta(nil), cs.Chunks...)
+		c.segments[name] = s
+	}
+	return nil
+}
+
+// applyRecovered re-applies one replayed operation. Append data already in
+// LTS (per the recovered storageLength) is not re-cached or re-flushed.
+func (c *Container) applyRecovered(op *Operation, addr wal.Address) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch op.Type {
+	case OpCreate:
+		if _, ok := c.segments[op.Segment]; !ok {
+			c.segments[op.Segment] = c.newSegState(op.Segment)
+		}
+	case OpAppend:
+		s, ok := c.segments[op.Segment]
+		if !ok {
+			return
+		}
+		end := op.Offset + int64(len(op.Data))
+		if end <= s.length && op.Offset < s.storageLength {
+			// Fully superseded by checkpointed state.
+			c.applyWriterAttrLocked(s, op)
+			return
+		}
+		if op.Offset < s.length {
+			// Partially applied before checkpoint — replay only the tail.
+			cut := s.length - op.Offset
+			op.Data = op.Data[cut:]
+			op.Offset = s.length
+		}
+		c.applyAppendLocked(s, op, addr)
+	case OpSeal:
+		if s, ok := c.segments[op.Segment]; ok {
+			s.sealed = true
+		}
+	case OpTruncate:
+		if s, ok := c.segments[op.Segment]; ok {
+			c.applyTruncateLocked(s, op.TruncateAt)
+		}
+	case OpDelete:
+		delete(c.segments, op.Segment)
+	case OpCheckpoint:
+		// Handled during checkpoint location.
+	}
+}
+
+// applyWriterAttrLocked records the writer's last event number (§3.2).
+func (c *Container) applyWriterAttrLocked(s *segState, op *Operation) {
+	if op.WriterID == "" {
+		return
+	}
+	if cur, ok := s.attributes[op.WriterID]; !ok || op.EventNum > cur {
+		s.attributes[op.WriterID] = op.EventNum
+	}
+}
+
+// applyAppendLocked installs acked append data into the read index, cache,
+// attributes and flush queue, then wakes tail readers.
+func (c *Container) applyAppendLocked(s *segState, op *Operation, addr wal.Address) {
+	dataLen := int64(len(op.Data))
+	if tail, ok := s.index.TailEntry(); ok && tail.Where == readindex.InCache && tail.End() == op.Offset {
+		if newAddr, err := c.cache.Append(tail.CacheAddr, op.Data); err == nil {
+			s.index.ExtendTail(dataLen, newAddr)
+		} else {
+			c.insertNewCacheEntryLocked(s, op.Offset, op.Data)
+		}
+	} else {
+		c.insertNewCacheEntryLocked(s, op.Offset, op.Data)
+	}
+	if end := op.Offset + dataLen; end > s.length {
+		s.length = end
+	}
+	c.applyWriterAttrLocked(s, op)
+	s.meter.Record(int64(op.EventCount), dataLen)
+
+	// Queue for tiering.
+	s.unflushed = append(s.unflushed, flushItem{addr: addr, offset: op.Offset, data: op.Data})
+	c.flushMu.Lock()
+	c.unflushedBytes += dataLen
+	c.flushMu.Unlock()
+	c.kickFlush()
+
+	for _, w := range s.waiters {
+		close(w)
+	}
+	s.waiters = nil
+}
+
+func (c *Container) insertNewCacheEntryLocked(s *segState, offset int64, data []byte) {
+	addr, err := c.cache.Insert(data)
+	if errors.Is(err, blockcache.ErrCacheFull) {
+		c.evictLocked()
+		addr, err = c.cache.Insert(data)
+	}
+	if err != nil {
+		// Cache exhausted by un-evictable (un-tiered) data; the read index
+		// gets no entry, and reads of this range are served from the
+		// unflushed queue until the storage writer catches up.
+		return
+	}
+	s.index.Add(readindex.Entry{
+		Offset:    offset,
+		Length:    int64(len(data)),
+		Where:     readindex.InCache,
+		CacheAddr: addr,
+	})
+}
+
+// evictLocked frees the stalest cached entries whose bytes are already in
+// LTS (safe to drop). Caller holds c.mu.
+func (c *Container) evictLocked() {
+	for _, s := range c.segments {
+		cands := s.index.EvictionCandidates(8)
+		for _, e := range cands {
+			if e.End() <= s.storageLength {
+				if s.index.Replace(readindex.Entry{Offset: e.Offset, Length: e.Length, Where: readindex.InLTS}) {
+					_ = c.cache.Delete(e.CacheAddr)
+				}
+			}
+		}
+	}
+}
+
+func (c *Container) applyTruncateLocked(s *segState, at int64) {
+	if at <= s.startOffset {
+		return
+	}
+	s.startOffset = at
+	for _, addr := range s.index.TruncateBefore(at) {
+		_ = c.cache.Delete(addr)
+	}
+}
+
+// failAll shuts the container down after a severe error (§4.4): every
+// queued and future operation fails; the caller is expected to restart the
+// container, triggering recovery.
+func (c *Container) failAll(err error) {
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return
+	}
+	c.down = true
+	c.downErr = err
+	c.downFlag.Store(true)
+	c.mu.Unlock()
+	c.flushCond.Broadcast()
+}
+
+// Close stops the container's goroutines and seals its WAL handle.
+func (c *Container) Close() error {
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return nil
+	}
+	c.down = true
+	c.downErr = ErrContainerDown
+	c.downFlag.Store(true)
+	c.mu.Unlock()
+	close(c.stop)
+	c.flushCond.Broadcast()
+	c.wg.Wait()
+	return c.log.Close()
+}
+
+// Crash simulates an abrupt failure: goroutines stop without flushing or
+// checkpointing, as after a process kill. The WAL handle is left open (a
+// real crash would not close it); the next NewContainer fences it.
+func (c *Container) Crash() {
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return
+	}
+	c.down = true
+	c.downErr = ErrContainerDown
+	c.downFlag.Store(true)
+	c.mu.Unlock()
+	close(c.stop)
+	c.flushCond.Broadcast()
+	c.wg.Wait()
+}
+
+func (c *Container) isDown() (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down, c.downErr
+}
+
+func (c *Container) kickFlush() {
+	select {
+	case c.flushKick <- struct{}{}:
+	default:
+	}
+}
+
+// Stats reports container-level counters (tests, figures).
+type Stats struct {
+	FramesWritten    int64
+	BytesWritten     int64
+	OpsProcessed     int64
+	ThrottleWaits    int64
+	UnflushedBytes   int64
+	CheckpointsTaken int64
+	CacheUsedBytes   int64
+}
+
+// Stats returns a snapshot of the container's counters.
+func (c *Container) Stats() Stats {
+	c.flushMu.Lock()
+	unflushed := c.unflushedBytes
+	c.flushMu.Unlock()
+	return Stats{
+		FramesWritten:    c.framesWritten.Value(),
+		BytesWritten:     c.bytesWritten.Value(),
+		OpsProcessed:     c.opsProcessed.Value(),
+		ThrottleWaits:    c.throttleWaits.Value(),
+		UnflushedBytes:   unflushed,
+		CheckpointsTaken: c.checkpointsTaken.Value(),
+		CacheUsedBytes:   c.cache.Stats().UsedBytes,
+	}
+}
+
+// SegmentLoad is one segment's current ingest rate, fed to the controller's
+// auto-scaling loop (§3.1).
+type SegmentLoad struct {
+	Segment      string
+	EventsPerSec float64
+	BytesPerSec  float64
+	WindowFull   bool
+}
+
+// LoadReport returns per-segment rates for unsealed segments.
+func (c *Container) LoadReport() []SegmentLoad {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]SegmentLoad, 0, len(c.segments))
+	for name, s := range c.segments {
+		if s.sealed {
+			continue
+		}
+		ev, by := s.meter.Rates()
+		out = append(out, SegmentLoad{
+			Segment:      name,
+			EventsPerSec: ev,
+			BytesPerSec:  by,
+			WindowFull:   s.meter.WindowFull(),
+		})
+	}
+	return out
+}

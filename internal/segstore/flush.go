@@ -1,0 +1,278 @@
+package segstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/wal"
+)
+
+// storageWriterLoop is the tiering engine of §4.3: it de-multiplexes
+// acknowledged append operations by segment, aggregates small appends into
+// larger chunk writes to LTS, records chunk metadata, and truncates the WAL
+// once data is safe in long-term storage. If LTS is slow or unavailable the
+// un-tiered backlog grows and the append path throttles (§5.4).
+func (c *Container) storageWriterLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			// Age-based flush: move everything pending.
+			c.flushOnce(true)
+		case <-c.flushKick:
+			// Size-based flush: only segments over the aggregation
+			// threshold, so small appends keep batching into larger
+			// LTS writes (§4.3).
+			c.flushOnce(false)
+		}
+	}
+}
+
+// flushWork is one segment's batch of contiguous bytes headed to LTS.
+type flushWork struct {
+	segment string
+	offset  int64
+	data    []byte
+	maxAddr wal.Address
+	items   int
+}
+
+// collectFlushWork gathers per-segment contiguous unflushed data. With
+// all=true everything pending is taken (age-based tick, forced flush);
+// otherwise only segments whose backlog reached the aggregation threshold.
+func (c *Container) collectFlushWork(all bool) []flushWork {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var work []flushWork
+	for name, s := range c.segments {
+		if len(s.unflushed) == 0 {
+			continue
+		}
+		var total int64
+		for _, it := range s.unflushed {
+			total += int64(len(it.data))
+		}
+		if !all && total < c.cfg.FlushSizeBytes && !s.sealed {
+			continue
+		}
+		buf := make([]byte, 0, total)
+		start := s.unflushed[0].offset
+		maxAddr := s.unflushed[0].addr
+		items := 0
+		for _, it := range s.unflushed {
+			buf = append(buf, it.data...)
+			if maxAddr.Less(it.addr) {
+				maxAddr = it.addr
+			}
+			items++
+		}
+		work = append(work, flushWork{segment: name, offset: start, data: buf, maxAddr: maxAddr, items: items})
+	}
+	return work
+}
+
+// flushOnce performs one round of tiering.
+func (c *Container) flushOnce(all bool) {
+	work := c.collectFlushWork(all)
+	if len(work) == 0 {
+		c.maybeTruncateWAL()
+		return
+	}
+	for _, w := range work {
+		if err := c.flushSegment(w); err != nil {
+			c.flushMu.Lock()
+			c.lastFlushErr = err
+			c.flushMu.Unlock()
+			// LTS trouble: leave the backlog in place; the throttle holds
+			// writers back while we retry on the next tick (§4.3).
+			continue
+		}
+	}
+	c.maybeTruncateWAL()
+}
+
+// flushSegment writes one batch to the segment's active chunk, rolling over
+// to a new chunk at the size limit, then retires the flushed items.
+func (c *Container) flushSegment(w flushWork) error {
+	written := 0
+	for written < len(w.data) {
+		name, chunkOff, space, err := c.activeChunk(w.segment, w.offset+int64(written))
+		if err != nil {
+			return err
+		}
+		n := len(w.data) - written
+		if int64(n) > space {
+			n = int(space)
+		}
+		if err := c.cfg.LTS.Write(name, chunkOff, w.data[written:written+n]); err != nil {
+			return fmt.Errorf("segstore: LTS write %s@%d: %w", name, chunkOff, err)
+		}
+		c.commitChunkWrite(w.segment, name, int64(n))
+		written += n
+	}
+	c.retireFlushed(w)
+	return nil
+}
+
+// activeChunk returns the chunk to write at the given segment offset,
+// creating a new one when the last chunk is full (or none exists). It
+// returns the chunk name, the in-chunk write offset and remaining capacity.
+func (c *Container) activeChunk(segName string, segOffset int64) (string, int64, int64, error) {
+	c.mu.Lock()
+	s, ok := c.segments[segName]
+	if !ok {
+		c.mu.Unlock()
+		return "", 0, 0, fmt.Errorf("%w: %s", ErrSegmentNotFound, segName)
+	}
+	if n := len(s.chunks); n > 0 {
+		last := s.chunks[n-1]
+		if last.Length < c.cfg.ChunkSizeLimit && last.StartOffset+last.Length == segOffset {
+			c.mu.Unlock()
+			return last.Name, last.Length, c.cfg.ChunkSizeLimit - last.Length, nil
+		}
+	}
+	chunkName := fmt.Sprintf("%s/chunk-%d", segName, segOffset)
+	s.chunks = append(s.chunks, chunkMeta{Name: chunkName, StartOffset: segOffset})
+	c.mu.Unlock()
+	if err := c.cfg.LTS.Create(chunkName); err != nil {
+		// Roll back the provisional metadata entry.
+		c.mu.Lock()
+		if len(s.chunks) > 0 && s.chunks[len(s.chunks)-1].Name == chunkName && s.chunks[len(s.chunks)-1].Length == 0 {
+			s.chunks = s.chunks[:len(s.chunks)-1]
+		}
+		c.mu.Unlock()
+		return "", 0, 0, fmt.Errorf("segstore: creating chunk %s: %w", chunkName, err)
+	}
+	return chunkName, 0, c.cfg.ChunkSizeLimit, nil
+}
+
+// commitChunkWrite records n bytes as durable in the named chunk and
+// advances the segment's storage length.
+func (c *Container) commitChunkWrite(segName, chunkName string, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.segments[segName]
+	if !ok {
+		return
+	}
+	for i := range s.chunks {
+		if s.chunks[i].Name == chunkName {
+			s.chunks[i].Length += n
+			break
+		}
+	}
+	s.storageLength += n
+}
+
+// retireFlushed drops the flushed items from the segment's queue and wakes
+// throttled writers.
+func (c *Container) retireFlushed(w flushWork) {
+	c.mu.Lock()
+	s, ok := c.segments[w.segment]
+	var freed int64
+	if ok {
+		for i := 0; i < w.items && i < len(s.unflushed); i++ {
+			freed += int64(len(s.unflushed[i].data))
+		}
+		s.unflushed = s.unflushed[w.items:]
+	}
+	c.mu.Unlock()
+
+	c.flushMu.Lock()
+	c.unflushedBytes -= freed
+	c.flushMu.Unlock()
+	c.flushCond.Broadcast()
+}
+
+// maybeTruncateWAL releases WAL ledgers no longer needed for recovery: all
+// retained data must cover (a) operations not yet tiered to LTS and (b) the
+// last metadata checkpoint (§4.3, §4.4).
+func (c *Container) maybeTruncateWAL() {
+	c.mu.Lock()
+	var lowest *wal.Address
+	for _, s := range c.segments {
+		if len(s.unflushed) > 0 {
+			a := s.unflushed[0].addr
+			if lowest == nil || a.Less(*lowest) {
+				lowest = &a
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	c.flushMu.Lock()
+	hasCP := c.hasCheckpoint
+	cp := c.lastCheckpoint
+	c.flushMu.Unlock()
+	if !hasCP {
+		return
+	}
+	upTo := cp
+	if lowest != nil && lowest.Less(upTo) {
+		upTo = *lowest
+	}
+	_ = c.log.Truncate(upTo)
+}
+
+// LastFlushError returns the most recent tiering error (tests, metrics).
+func (c *Container) LastFlushError() error {
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	return c.lastFlushErr
+}
+
+// checkpointLoop periodically writes a metadata checkpoint operation into
+// the WAL so recovery replays a bounded tail (§4.4).
+func (c *Container) checkpointLoop() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.CheckpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+			_ = c.Checkpoint()
+		}
+	}
+}
+
+// Checkpoint snapshots container metadata into the WAL and returns once the
+// snapshot is durable.
+func (c *Container) Checkpoint() error {
+	c.mu.Lock()
+	cp := checkpointState{Segments: make(map[string]checkpointSegment, len(c.segments))}
+	for name, s := range c.segments {
+		cp.Segments[name] = checkpointSegment{
+			Sealed:        s.sealed,
+			Length:        s.length,
+			StartOffset:   s.startOffset,
+			StorageLength: s.storageLength,
+			Attributes:    s.attributes.Clone(),
+			Chunks:        append([]chunkMeta(nil), s.chunks...),
+		}
+	}
+	c.mu.Unlock()
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	_, err = c.submit(Operation{Type: OpCheckpoint, Checkpoint: data})
+	return err
+}
+
+// FlushAll forces every pending byte to LTS (tests and graceful shutdown).
+func (c *Container) FlushAll() error {
+	c.flushOnce(true)
+	c.flushMu.Lock()
+	defer c.flushMu.Unlock()
+	if c.unflushedBytes > 0 {
+		return fmt.Errorf("segstore: %d bytes still unflushed: %v", c.unflushedBytes, c.lastFlushErr)
+	}
+	return nil
+}

@@ -1,0 +1,248 @@
+package segstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/blockcache"
+	"github.com/pravega-go/pravega/internal/lts"
+)
+
+func TestChunkRollover(t *testing.T) {
+	env := newTestEnv(t)
+	cfg := env.containerConfig(0)
+	cfg.ChunkSizeLimit = 4096 // force rollovers
+	c, err := NewContainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const seg = "s/t/0.#epoch.0"
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("r"), 1500)
+	for i := 0; i < 10; i++ { // 15000 bytes → ≥ 4 chunks
+		if _, err := c.Append(seg, payload, "w", int64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := c.ChunkList(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 4 {
+		t.Fatalf("expected ≥4 chunks after rollover, got %d", len(chunks))
+	}
+	// Chunks are non-overlapping and contiguous: re-read the whole segment
+	// through LTS after evicting the cache view via a restart.
+	c.Crash()
+	c2, err := NewContainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	var got bytes.Buffer
+	off := int64(0)
+	total := int64(10 * 1500)
+	for off < total {
+		res, err := c2.Read(seg, off, 4096, time.Second)
+		if err != nil {
+			t.Fatalf("Read@%d: %v", off, err)
+		}
+		got.Write(res.Data)
+		off += int64(len(res.Data))
+	}
+	if int64(got.Len()) != total {
+		t.Fatalf("reassembled %d bytes, want %d", got.Len(), total)
+	}
+}
+
+func TestWALTruncatesAfterFlushAndCheckpoint(t *testing.T) {
+	env := newTestEnv(t)
+	cfg := env.containerConfig(1)
+	cfg.WALRolloverBytes = 2048 // many small ledgers
+	c, err := NewContainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const seg = "s/t/1.#epoch.0"
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := c.Append(seg, bytes.Repeat([]byte("w"), 512), "w", int64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Another flush cycle performs the truncation.
+	c.flushOnce(true)
+	if n := c.log.RetainedLedgers(); n > 3 {
+		t.Fatalf("WAL retains %d ledgers after tiering + checkpoint", n)
+	}
+}
+
+func TestRecoveryAfterWALTruncationUsesCheckpoint(t *testing.T) {
+	env := newTestEnv(t)
+	cfg := env.containerConfig(2)
+	cfg.WALRolloverBytes = 2048
+	c, err := NewContainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seg = "s/t/2.#epoch.0"
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for i := 0; i < 30; i++ {
+		data := []byte(fmt.Sprintf("ckpt-%02d|", i))
+		if _, err := c.Append(seg, data, "w", int64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+		want.Write(data)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	c.flushOnce(true) // truncate the WAL
+	c.Crash()
+
+	// Recovery must restore state from the checkpoint + chunk metadata
+	// even though the early WAL entries are gone.
+	c2, err := NewContainer(cfg)
+	if err != nil {
+		t.Fatalf("recovery after truncation: %v", err)
+	}
+	defer c2.Close()
+	info, err := c2.GetInfo(seg)
+	if err != nil || info.Length != int64(want.Len()) {
+		t.Fatalf("recovered info = %+v, %v", info, err)
+	}
+	if info.StorageLength != info.Length {
+		t.Fatalf("recovered storage length %d != %d", info.StorageLength, info.Length)
+	}
+	var got bytes.Buffer
+	off := int64(0)
+	for got.Len() < want.Len() {
+		res, err := c2.Read(seg, off, 1024, time.Second)
+		if err != nil {
+			t.Fatalf("Read@%d: %v", off, err)
+		}
+		got.Write(res.Data)
+		off += int64(len(res.Data))
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("data mismatch after checkpoint-based recovery")
+	}
+	// Writer dedup state survives too.
+	if last, _ := c2.WriterState(seg, "w"); last != 29 {
+		t.Fatalf("recovered writer state %d", last)
+	}
+}
+
+func TestConditionalAppend(t *testing.T) {
+	env := newTestEnv(t)
+	c := newTestContainer(t, env, 3)
+	const seg = "s/t/3.#epoch.0"
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	off, err := c.AppendConditional(seg, []byte("first"), 0)
+	if err != nil || off != 0 {
+		t.Fatalf("AppendConditional = %d, %v", off, err)
+	}
+	if _, err := c.AppendConditional(seg, []byte("stale"), 0); !errors.Is(err, ErrConditionalFailed) {
+		t.Fatalf("stale conditional: %v", err)
+	}
+	off, err = c.AppendConditional(seg, []byte("second"), 5)
+	if err != nil || off != 5 {
+		t.Fatalf("AppendConditional = %d, %v", off, err)
+	}
+	info, _ := c.GetInfo(seg)
+	if info.Length != 11 {
+		t.Fatalf("length %d", info.Length)
+	}
+}
+
+func TestCachePressureEvictsTieredEntries(t *testing.T) {
+	env := newTestEnv(t)
+	cfg := env.containerConfig(4)
+	cfg.Cache = blockcache.Config{BlockSize: 1024, BlocksPerBuffer: 8, MaxBuffers: 2} // 16 KiB
+	cfg.FlushSizeBytes = 1024
+	cfg.FlushInterval = 10 * time.Millisecond
+	c, err := NewContainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const seg = "s/t/4.#epoch.0"
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("e"), 1024)
+	// Write 64 KiB through a 16 KiB cache; tiering keeps pace, eviction
+	// reclaims tiered entries, and every byte stays readable.
+	for i := 0; i < 64; i++ {
+		if _, err := c.Append(seg, payload, "w", int64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if used := c.Stats().CacheUsedBytes; used > 16<<10 {
+		t.Fatalf("cache used %d > capacity", used)
+	}
+	var total int64
+	off := int64(0)
+	for total < 64<<10 {
+		res, err := c.Read(seg, off, 8192, time.Second)
+		if err != nil {
+			t.Fatalf("Read@%d: %v", off, err)
+		}
+		total += int64(len(res.Data))
+		off += int64(len(res.Data))
+	}
+}
+
+func TestNoOpLTSKeepsMetadataOnly(t *testing.T) {
+	env := newTestEnv(t)
+	cfg := env.containerConfig(5)
+	cfg.LTS = lts.NewNoOp()
+	c, err := NewContainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const seg = "s/t/5.#epoch.0"
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Append(seg, bytes.Repeat([]byte("n"), 4096), "w", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := c.GetInfo(seg)
+	if info.StorageLength != 4096 {
+		t.Fatalf("NoOp LTS storage length %d", info.StorageLength)
+	}
+}

@@ -1,0 +1,195 @@
+// Package segstore implements Pravega's data plane (§2.2, §4): segment
+// stores host segment containers; every request that modifies a segment
+// becomes an operation queued on its container; the container multiplexes
+// all its segments' operations into a single WAL log via dynamically sized
+// data frames (§4.1); a storage writer de-multiplexes acknowledged
+// operations and moves them to long-term storage, truncating the WAL
+// (§4.3); metadata checkpoints and WAL replay implement crash recovery, and
+// fencing guarantees single ownership of a container (§4.4).
+package segstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// OpType enumerates WAL operation kinds.
+type OpType uint8
+
+// Operation kinds serialized into data frames.
+const (
+	OpCreate OpType = iota + 1
+	OpAppend
+	OpSeal
+	OpTruncate
+	OpDelete
+	OpCheckpoint
+)
+
+// Operation is one durable state mutation. Every operation carries the
+// container-assigned sequence number implicitly via its position in the
+// frame stream.
+type Operation struct {
+	Type    OpType
+	Segment string
+
+	// Append fields.
+	Offset     int64 // assigned by the container before WAL write
+	Data       []byte
+	WriterID   string
+	EventNum   int64 // last event number in this append (writer dedup)
+	EventCount int32
+	// CondOffset, when >= 0, makes the append conditional: it fails unless
+	// the segment length equals it (optimistic concurrency for the state
+	// synchronizer, §3.3). Not serialized: the condition is evaluated at
+	// sequencing time and the op is rejected before reaching the WAL.
+	CondOffset int64
+
+	// Truncate field.
+	TruncateAt int64
+
+	// Checkpoint payload (serialized container metadata).
+	Checkpoint []byte
+}
+
+const maxSegmentNameLen = 1024
+
+// appendUvarintBytes appends a length-prefixed byte string.
+func appendUvarintBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func consumeUvarintBytes(src []byte) ([]byte, []byte, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 || n > uint64(len(src)-sz) {
+		return nil, nil, errors.New("segstore: truncated field")
+	}
+	return src[sz : sz+int(n)], src[sz+int(n):], nil
+}
+
+// Marshal serializes the operation into dst.
+func (op *Operation) Marshal(dst []byte) []byte {
+	dst = append(dst, byte(op.Type))
+	dst = appendUvarintBytes(dst, []byte(op.Segment))
+	switch op.Type {
+	case OpAppend:
+		dst = binary.AppendVarint(dst, op.Offset)
+		dst = appendUvarintBytes(dst, []byte(op.WriterID))
+		dst = binary.AppendVarint(dst, op.EventNum)
+		dst = binary.AppendVarint(dst, int64(op.EventCount))
+		dst = appendUvarintBytes(dst, op.Data)
+	case OpTruncate:
+		dst = binary.AppendVarint(dst, op.TruncateAt)
+	case OpCheckpoint:
+		dst = appendUvarintBytes(dst, op.Checkpoint)
+	case OpCreate, OpSeal, OpDelete:
+		// Name only.
+	}
+	return dst
+}
+
+// UnmarshalOperation decodes one operation, returning the remainder.
+func UnmarshalOperation(src []byte) (Operation, []byte, error) {
+	if len(src) < 1 {
+		return Operation{}, nil, errors.New("segstore: empty operation")
+	}
+	op := Operation{Type: OpType(src[0]), CondOffset: -1}
+	src = src[1:]
+	nameB, src, err := consumeUvarintBytes(src)
+	if err != nil {
+		return Operation{}, nil, err
+	}
+	if len(nameB) > maxSegmentNameLen {
+		return Operation{}, nil, fmt.Errorf("segstore: segment name too long (%d)", len(nameB))
+	}
+	op.Segment = string(nameB)
+	switch op.Type {
+	case OpAppend:
+		var sz int
+		op.Offset, sz = binary.Varint(src)
+		if sz <= 0 {
+			return Operation{}, nil, errors.New("segstore: bad offset")
+		}
+		src = src[sz:]
+		wid, rest, err := consumeUvarintBytes(src)
+		if err != nil {
+			return Operation{}, nil, err
+		}
+		op.WriterID = string(wid)
+		src = rest
+		op.EventNum, sz = binary.Varint(src)
+		if sz <= 0 {
+			return Operation{}, nil, errors.New("segstore: bad event num")
+		}
+		src = src[sz:]
+		cnt, sz2 := binary.Varint(src)
+		if sz2 <= 0 {
+			return Operation{}, nil, errors.New("segstore: bad event count")
+		}
+		op.EventCount = int32(cnt)
+		src = src[sz2:]
+		data, rest2, err := consumeUvarintBytes(src)
+		if err != nil {
+			return Operation{}, nil, err
+		}
+		op.Data = append([]byte(nil), data...)
+		src = rest2
+	case OpTruncate:
+		var sz int
+		op.TruncateAt, sz = binary.Varint(src)
+		if sz <= 0 {
+			return Operation{}, nil, errors.New("segstore: bad truncate offset")
+		}
+		src = src[sz:]
+	case OpCheckpoint:
+		cp, rest, err := consumeUvarintBytes(src)
+		if err != nil {
+			return Operation{}, nil, err
+		}
+		op.Checkpoint = append([]byte(nil), cp...)
+		src = rest
+	case OpCreate, OpSeal, OpDelete:
+		// Name only.
+	default:
+		return Operation{}, nil, fmt.Errorf("segstore: unknown op type %d", op.Type)
+	}
+	return op, src, nil
+}
+
+// MarshalFrame packs operations into one data frame.
+func MarshalFrame(ops []*Operation) []byte {
+	var size int
+	for _, op := range ops {
+		size += 64 + len(op.Data) + len(op.Segment) + len(op.Checkpoint)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		buf = op.Marshal(buf)
+	}
+	return buf
+}
+
+// UnmarshalFrame decodes a data frame back into operations.
+func UnmarshalFrame(data []byte) ([]Operation, error) {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil, errors.New("segstore: bad frame header")
+	}
+	data = data[sz:]
+	ops := make([]Operation, 0, n)
+	for i := uint64(0); i < n; i++ {
+		op, rest, err := UnmarshalOperation(data)
+		if err != nil {
+			return nil, fmt.Errorf("segstore: frame op %d: %w", i, err)
+		}
+		ops = append(ops, op)
+		data = rest
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("segstore: %d trailing frame bytes", len(data))
+	}
+	return ops, nil
+}

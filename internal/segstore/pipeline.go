@@ -1,0 +1,464 @@
+package segstore
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/segment"
+	"github.com/pravega-go/pravega/internal/wal"
+)
+
+// frameResult carries one WAL-acknowledged frame through the in-order
+// completion stage.
+type frameResult struct {
+	seq  int64
+	addr wal.Address
+	err  error
+	ops  []*Operation
+	done []*pendingOp
+}
+
+// submit queues an operation and waits for its durable completion.
+func (c *Container) submit(op Operation) (int64, error) {
+	if down, err := c.isDown(); down {
+		return 0, err
+	}
+	p := &pendingOp{op: op, done: make(chan opResult, 1)}
+	select {
+	case c.opQueue <- p:
+	case <-c.stop:
+		return 0, ErrContainerDown
+	}
+	select {
+	case r := <-p.done:
+		return r.offset, r.err
+	case <-c.stop:
+		return 0, ErrContainerDown
+	}
+}
+
+// CreateSegment durably registers a new segment.
+func (c *Container) CreateSegment(name string) error {
+	_, err := c.submit(Operation{Type: OpCreate, Segment: name})
+	return err
+}
+
+// Append durably appends data to the segment, returning the assigned start
+// offset. writerID/eventNum implement exactly-once semantics (§3.2):
+// appends whose eventNum is not greater than the writer's recorded last
+// event number are acknowledged without being applied (duplicate from a
+// writer retry).
+func (c *Container) Append(name string, data []byte, writerID string, eventNum int64, eventCount int32) (int64, error) {
+	r := <-c.AppendAsync(name, data, writerID, eventNum, eventCount)
+	return r.Offset, r.Err
+}
+
+// AppendResult is the outcome of an asynchronous append.
+type AppendResult struct {
+	// Offset is the assigned start offset, or -1 for a deduplicated retry.
+	Offset int64
+	Err    error
+}
+
+// AppendAsync enqueues an append and returns immediately; the channel
+// yields the result once the append is durable. Appends enqueued from one
+// goroutine are sequenced (and therefore applied) in call order, which the
+// event writer relies on for per-key ordering (§3.2).
+func (c *Container) AppendAsync(name string, data []byte, writerID string, eventNum int64, eventCount int32) <-chan AppendResult {
+	return c.appendAsync(Operation{
+		Type:       OpAppend,
+		Segment:    name,
+		Data:       data,
+		WriterID:   writerID,
+		EventNum:   eventNum,
+		EventCount: eventCount,
+		CondOffset: -1,
+	})
+}
+
+// AppendConditional appends only if the segment's length equals
+// expectedOffset, providing the optimistic-concurrency primitive the state
+// synchronizer builds on (§3.3).
+func (c *Container) AppendConditional(name string, data []byte, expectedOffset int64) (int64, error) {
+	r := <-c.appendAsync(Operation{
+		Type:       OpAppend,
+		Segment:    name,
+		Data:       data,
+		CondOffset: expectedOffset,
+	})
+	return r.Offset, r.Err
+}
+
+func (c *Container) appendAsync(op Operation) <-chan AppendResult {
+	out := make(chan AppendResult, 1)
+	c.throttle()
+	if down, err := c.isDown(); down {
+		out <- AppendResult{Err: err}
+		return out
+	}
+	p := &pendingOp{op: op, done: make(chan opResult, 1)}
+	select {
+	case c.opQueue <- p:
+	case <-c.stop:
+		out <- AppendResult{Err: ErrContainerDown}
+		return out
+	}
+	go func() {
+		select {
+		case r := <-p.done:
+			out <- AppendResult{Offset: r.offset, Err: r.err}
+		case <-c.stop:
+			out <- AppendResult{Err: ErrContainerDown}
+		}
+	}()
+	return out
+}
+
+// Seal makes the segment read-only, returning its final length.
+func (c *Container) Seal(name string) (int64, error) {
+	return c.submit(Operation{Type: OpSeal, Segment: name})
+}
+
+// Truncate discards the segment prefix below offset.
+func (c *Container) Truncate(name string, offset int64) error {
+	_, err := c.submit(Operation{Type: OpTruncate, Segment: name, TruncateAt: offset})
+	return err
+}
+
+// DeleteSegment removes the segment and, asynchronously, its LTS chunks.
+func (c *Container) DeleteSegment(name string) error {
+	_, err := c.submit(Operation{Type: OpDelete, Segment: name})
+	return err
+}
+
+// throttle blocks the caller while the un-tiered backlog exceeds the limit:
+// the integrated storage-tiering backpressure of §4.3/§5.4.
+func (c *Container) throttle() {
+	c.flushMu.Lock()
+	waited := false
+	for c.unflushedBytes > c.cfg.MaxUnflushedBytes && !c.downFlag.Load() {
+		if !waited {
+			waited = true
+			c.throttleWaits.Add(1)
+		}
+		c.kickFlush()
+		c.flushCond.Wait()
+	}
+	c.flushMu.Unlock()
+}
+
+// frameBuilderLoop implements §4.1's second batching level: it drains the
+// operation queue into data frames, validating and sequencing operations in
+// arrival order, and submits each frame to the WAL. When the queue runs dry
+// it waits Delay = RecentLatency × (1 − AvgWriteSize/MaxFrameSize) for more
+// operations before closing the frame.
+func (c *Container) frameBuilderLoop() {
+	defer c.wg.Done()
+	for {
+		var first *pendingOp
+		select {
+		case first = <-c.opQueue:
+		case <-c.stop:
+			c.drainQueue()
+			return
+		}
+
+		frameOps := make([]*Operation, 0, 64)
+		framePending := make([]*pendingOp, 0, 64)
+		frameBytes := 0
+
+		admit := func(p *pendingOp) {
+			if err := c.validateAndSequence(&p.op); err != nil {
+				if err == errDuplicateAppend {
+					// Writer retry of an already-applied append: acknowledge
+					// as success without re-writing (§3.2). Offset -1 tells
+					// the caller the data was deduplicated.
+					p.done <- opResult{offset: -1}
+				} else {
+					p.done <- opResult{err: err}
+				}
+				return
+			}
+			frameOps = append(frameOps, &p.op)
+			framePending = append(framePending, p)
+			frameBytes += len(p.op.Data) + len(p.op.Segment) + len(p.op.Checkpoint) + 32
+		}
+		admit(first)
+
+	fill:
+		for frameBytes < c.cfg.MaxFrameSize {
+			select {
+			case p := <-c.opQueue:
+				admit(p)
+			default:
+				// Queue dry: adaptive wait for more operations (§4.1).
+				delay := c.frameDelay()
+				if delay <= 0 {
+					break fill
+				}
+				timer := time.NewTimer(delay)
+				select {
+				case p := <-c.opQueue:
+					timer.Stop()
+					admit(p)
+				case <-timer.C:
+					break fill
+				case <-c.stop:
+					timer.Stop()
+					break fill
+				}
+			}
+		}
+
+		if len(frameOps) == 0 {
+			continue
+		}
+		c.submitFrame(frameOps, framePending, frameBytes)
+	}
+}
+
+func (c *Container) drainQueue() {
+	for {
+		select {
+		case p := <-c.opQueue:
+			p.done <- opResult{err: ErrContainerDown}
+		default:
+			return
+		}
+	}
+}
+
+// frameDelay computes the paper's adaptive batching delay.
+func (c *Container) frameDelay() time.Duration {
+	c.statMu.Lock()
+	lat := c.recentLatency
+	avg := c.avgWriteSize
+	c.statMu.Unlock()
+	frac := 1 - avg/float64(c.cfg.MaxFrameSize)
+	if frac < 0 {
+		frac = 0
+	}
+	d := time.Duration(float64(lat) * frac)
+	if d > c.cfg.MaxFrameDelay {
+		d = c.cfg.MaxFrameDelay
+	}
+	return d
+}
+
+// validateAndSequence checks an operation against current state and, for
+// appends, assigns its offset. Runs in queue order, so later operations see
+// earlier ones' pending effects.
+func (c *Container) validateAndSequence(op *Operation) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down {
+		return c.downErr
+	}
+	s, exists := c.segments[op.Segment]
+	switch op.Type {
+	case OpCreate:
+		if exists {
+			return fmt.Errorf("%w: %s", ErrSegmentExists, op.Segment)
+		}
+		return nil
+	case OpCheckpoint:
+		return nil
+	case OpAppend:
+		if !exists {
+			return fmt.Errorf("%w: %s", ErrSegmentNotFound, op.Segment)
+		}
+		if s.sealed || s.pendingSeal {
+			return fmt.Errorf("%w: %s", ErrSegmentSealed, op.Segment)
+		}
+		if op.WriterID != "" {
+			if last, ok := s.attributes[op.WriterID]; ok && op.EventNum <= last {
+				// Duplicate from a writer retry: ack at the recorded state
+				// without re-appending (§3.2).
+				return errDuplicateAppend
+			}
+		}
+		if op.CondOffset >= 0 && op.CondOffset != s.pendingLength {
+			return fmt.Errorf("%w: expected %d, length %d", ErrConditionalFailed, op.CondOffset, s.pendingLength)
+		}
+		op.Offset = s.pendingLength
+		s.pendingLength += int64(len(op.Data))
+		return nil
+	case OpSeal:
+		if !exists {
+			return fmt.Errorf("%w: %s", ErrSegmentNotFound, op.Segment)
+		}
+		s.pendingSeal = true
+		return nil
+	case OpTruncate:
+		if !exists {
+			return fmt.Errorf("%w: %s", ErrSegmentNotFound, op.Segment)
+		}
+		if op.TruncateAt > s.pendingLength {
+			return fmt.Errorf("segstore: truncate offset %d beyond length %d", op.TruncateAt, s.pendingLength)
+		}
+		return nil
+	case OpDelete:
+		if !exists {
+			return fmt.Errorf("%w: %s", ErrSegmentNotFound, op.Segment)
+		}
+		return nil
+	default:
+		return fmt.Errorf("segstore: unknown operation type %d", op.Type)
+	}
+}
+
+// errDuplicateAppend is an internal sentinel: the append is a writer retry
+// already reflected in segment state; acknowledge without applying.
+var errDuplicateAppend = fmt.Errorf("segstore: duplicate append")
+
+// submitFrame writes one data frame to the WAL and routes its completion
+// through the in-order applier.
+func (c *Container) submitFrame(ops []*Operation, pend []*pendingOp, frameBytes int) {
+	c.frameMu.Lock()
+	seq := c.nextFrameSeq
+	c.nextFrameSeq++
+	c.frameMu.Unlock()
+
+	data := MarshalFrame(ops)
+	start := time.Now()
+	c.log.AppendAsync(data, func(addr wal.Address, err error) {
+		lat := time.Since(start)
+		c.updateBatchStats(lat, frameBytes)
+		c.completeFrame(&frameResult{seq: seq, addr: addr, err: err, ops: ops, done: pend})
+	})
+}
+
+// updateBatchStats maintains the EWMA latency and write-size statistics
+// that feed the adaptive delay formula.
+func (c *Container) updateBatchStats(lat time.Duration, size int) {
+	const alpha = 0.2
+	c.statMu.Lock()
+	c.recentLatency = time.Duration(float64(c.recentLatency)*(1-alpha) + float64(lat)*alpha)
+	c.avgWriteSize = c.avgWriteSize*(1-alpha) + float64(size)*alpha
+	c.statMu.Unlock()
+}
+
+// completeFrame releases frames in sequence order: WAL acknowledgements can
+// arrive out of order across ledger rollovers, but state must be applied in
+// the order operations were sequenced.
+func (c *Container) completeFrame(fr *frameResult) {
+	c.frameMu.Lock()
+	c.pendingFrames[fr.seq] = fr
+	var ready []*frameResult
+	for {
+		next, ok := c.pendingFrames[c.nextApplySeq]
+		if !ok {
+			break
+		}
+		delete(c.pendingFrames, c.nextApplySeq)
+		c.nextApplySeq++
+		ready = append(ready, next)
+	}
+	c.frameMu.Unlock()
+
+	for _, f := range ready {
+		c.applyFrame(f)
+	}
+}
+
+// applyFrame installs a durable frame into memory state and acknowledges
+// its operations.
+func (c *Container) applyFrame(f *frameResult) {
+	if f.err != nil {
+		// WAL failure is fatal for the container (§4.4).
+		c.failAll(fmt.Errorf("segstore: WAL append failed: %w", f.err))
+		for _, p := range f.done {
+			p.done <- opResult{err: f.err}
+		}
+		return
+	}
+	c.framesWritten.Add(1)
+	for i, op := range f.ops {
+		c.bytesWritten.Add(int64(len(op.Data)))
+		c.opsProcessed.Add(1)
+		res := opResult{}
+		c.mu.Lock()
+		s := c.segments[op.Segment]
+		switch op.Type {
+		case OpCreate:
+			if s == nil {
+				c.segments[op.Segment] = c.newSegState(op.Segment)
+			}
+		case OpAppend:
+			if s != nil {
+				c.applyAppendLocked(s, op, f.addr)
+				res.offset = op.Offset
+			}
+		case OpSeal:
+			if s != nil {
+				s.sealed = true
+				s.pendingSeal = false
+				res.offset = s.length
+				for _, w := range s.waiters {
+					close(w)
+				}
+				s.waiters = nil
+			}
+		case OpTruncate:
+			if s != nil {
+				c.applyTruncateLocked(s, op.TruncateAt)
+			}
+		case OpDelete:
+			if s != nil {
+				for _, w := range s.waiters {
+					close(w)
+				}
+				chunks := append([]chunkMeta(nil), s.chunks...)
+				delete(c.segments, op.Segment)
+				go c.deleteChunks(chunks)
+			}
+		case OpCheckpoint:
+			c.flushMu.Lock()
+			c.lastCheckpoint = f.addr
+			c.hasCheckpoint = true
+			c.flushMu.Unlock()
+			c.checkpointsTaken.Add(1)
+		}
+		c.mu.Unlock()
+		f.done[i].done <- res
+	}
+}
+
+func (c *Container) deleteChunks(chunks []chunkMeta) {
+	for _, ch := range chunks {
+		_ = c.cfg.LTS.Delete(ch.Name)
+	}
+}
+
+// WriterState returns the last event number recorded for the writer on the
+// segment, or -1 when unknown. Writers call this on reconnection to resume
+// from the correct event (§3.2).
+func (c *Container) WriterState(name, writerID string) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.segments[name]
+	if !ok {
+		return -1, fmt.Errorf("%w: %s", ErrSegmentNotFound, name)
+	}
+	if last, ok := s.attributes[writerID]; ok {
+		return last, nil
+	}
+	return -1, nil
+}
+
+// GetInfo returns the segment's current metadata.
+func (c *Container) GetInfo(name string) (segment.Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.segments[name]
+	if !ok {
+		return segment.Info{}, fmt.Errorf("%w: %s", ErrSegmentNotFound, name)
+	}
+	return segment.Info{
+		Name:          name,
+		Length:        s.length,
+		StartOffset:   s.startOffset,
+		Sealed:        s.sealed,
+		StorageLength: s.storageLength,
+	}, nil
+}

@@ -1,0 +1,175 @@
+package segstore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/readindex"
+)
+
+// ReadResult is the outcome of one segment read.
+type ReadResult struct {
+	// Data holds the bytes read (possibly fewer than requested).
+	Data []byte
+	// Offset echoes the read's start offset.
+	Offset int64
+	// EndOfSegment is set when the segment is sealed and the read reached
+	// its end: the reader should fetch the segment's successors (§3.3).
+	EndOfSegment bool
+}
+
+// Read returns up to maxBytes starting at offset. Reads at the segment's
+// tail block up to wait for new data (tail reads return a future
+// server-side, §4.2 — here a bounded long-poll). A zero wait makes tail
+// reads return immediately with empty data.
+func (c *Container) Read(name string, offset int64, maxBytes int, wait time.Duration) (ReadResult, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		if c.down {
+			err := c.downErr
+			c.mu.Unlock()
+			return ReadResult{}, err
+		}
+		s, ok := c.segments[name]
+		if !ok {
+			c.mu.Unlock()
+			return ReadResult{}, fmt.Errorf("%w: %s", ErrSegmentNotFound, name)
+		}
+		if offset < s.startOffset {
+			c.mu.Unlock()
+			return ReadResult{}, fmt.Errorf("%w: offset %d < %d", ErrSegmentTruncated, offset, s.startOffset)
+		}
+		if offset > s.length {
+			c.mu.Unlock()
+			return ReadResult{}, fmt.Errorf("segstore: read offset %d beyond length", offset)
+		}
+		if offset == s.length {
+			if s.sealed {
+				c.mu.Unlock()
+				return ReadResult{Offset: offset, EndOfSegment: true}, nil
+			}
+			// Tail read: register a waiter and long-poll (§4.2).
+			w := make(chan struct{})
+			s.waiters = append(s.waiters, w)
+			c.mu.Unlock()
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				return ReadResult{Offset: offset}, nil
+			}
+			timer := time.NewTimer(remain)
+			select {
+			case <-w:
+				timer.Stop()
+				continue
+			case <-timer.C:
+				return ReadResult{Offset: offset}, nil
+			case <-c.stop:
+				timer.Stop()
+				return ReadResult{}, ErrContainerDown
+			}
+		}
+		// Data available: serve from cache when indexed, LTS otherwise.
+		res, err := c.readAvailableLocked(s, offset, maxBytes)
+		c.mu.Unlock()
+		return res, err
+	}
+}
+
+// readAvailableLocked serves a read below the segment length. Caller holds
+// c.mu; LTS reads release it for the duration of the fetch.
+func (c *Container) readAvailableLocked(s *segState, offset int64, maxBytes int) (ReadResult, error) {
+	avail := s.length - offset
+	if int64(maxBytes) > avail {
+		maxBytes = int(avail)
+	}
+	entry, err := s.index.Find(offset)
+	switch {
+	case err == nil && entry.Where == readindex.InCache:
+		data, cerr := c.cache.Get(entry.CacheAddr)
+		if cerr == nil {
+			from := offset - entry.Offset
+			to := from + int64(maxBytes)
+			if to > int64(len(data)) {
+				to = int64(len(data))
+			}
+			return ReadResult{Data: data[from:to:to], Offset: offset}, nil
+		}
+		// Cache raced with eviction; fall through to other sources.
+		fallthrough
+	default:
+		if offset < s.storageLength {
+			return c.readFromLTSLocked(s, offset, maxBytes)
+		}
+		// Not cached, not in LTS: the bytes are in the un-tiered queue
+		// (cache was full on apply). Serve from there.
+		for _, it := range s.unflushed {
+			end := it.offset + int64(len(it.data))
+			if offset >= it.offset && offset < end {
+				from := offset - it.offset
+				to := from + int64(maxBytes)
+				if to > int64(len(it.data)) {
+					to = int64(len(it.data))
+				}
+				return ReadResult{Data: append([]byte(nil), it.data[from:to]...), Offset: offset}, nil
+			}
+		}
+		if err == nil {
+			err = errors.New("segstore: read raced with state change")
+		}
+		return ReadResult{}, fmt.Errorf("segstore: no source for %s@%d: %w", s.name, offset, err)
+	}
+}
+
+// readFromLTSLocked fetches bytes from the segment's chunks. It drops c.mu
+// during the fetch (LTS can be slow) and does not install the result into
+// the cache: historical catch-up readers stream large ranges once, and
+// polluting the cache would evict the tail working set (§4.2's usage-aware
+// design; the paper's high historical throughput comes from parallel chunk
+// reads, which this preserves).
+func (c *Container) readFromLTSLocked(s *segState, offset int64, maxBytes int) (ReadResult, error) {
+	var chunk *chunkMeta
+	for i := range s.chunks {
+		ch := &s.chunks[i]
+		if offset >= ch.StartOffset && offset < ch.StartOffset+ch.Length {
+			cc := *ch
+			chunk = &cc
+			break
+		}
+	}
+	if chunk == nil {
+		return ReadResult{}, fmt.Errorf("segstore: no chunk covers %s@%d", s.name, offset)
+	}
+	inChunk := offset - chunk.StartOffset
+	n := int64(maxBytes)
+	if n > chunk.Length-inChunk {
+		n = chunk.Length - inChunk
+	}
+	buf := make([]byte, n)
+	c.mu.Unlock()
+	read, err := c.cfg.LTS.Read(chunk.Name, inChunk, buf)
+	c.mu.Lock()
+	if err != nil {
+		return ReadResult{}, fmt.Errorf("segstore: LTS read %s: %w", chunk.Name, err)
+	}
+	return ReadResult{Data: buf[:read], Offset: offset}, nil
+}
+
+// ChunkList returns the segment's LTS chunk layout (tests, tooling).
+func (c *Container) ChunkList(name string) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.segments[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrSegmentNotFound, name)
+	}
+	out := make([]string, len(s.chunks))
+	for i, ch := range s.chunks {
+		out[i] = ch.Name
+	}
+	return out, nil
+}

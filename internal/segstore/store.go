@@ -1,0 +1,260 @@
+package segstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/cluster"
+	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/segment"
+)
+
+// StoreConfig parameterizes a segment store instance.
+type StoreConfig struct {
+	// ID names the store instance.
+	ID string
+	// TotalContainers is the cluster-wide container count (the key space
+	// every component hashes segments into, §2.2).
+	TotalContainers int
+	// Container is the template for hosted containers (ID overridden).
+	Container ContainerConfig
+	// Cluster is the coordination store for container assignment.
+	Cluster *cluster.Store
+}
+
+// Store is one segment store instance hosting a subset of the cluster's
+// segment containers (§2.2). Assignment is recorded in the coordination
+// service via ephemeral nodes, so a crashed store's containers become
+// reassignable (§4.4).
+type Store struct {
+	cfg     StoreConfig
+	session *cluster.Session
+
+	mu         sync.Mutex
+	containers map[int]*Container
+	closed     bool
+}
+
+const assignmentRoot = "/pravega/containers"
+
+// NewStore registers the store in the cluster. Containers are started with
+// StartContainer (the controller or an orchestration loop decides which).
+func NewStore(cfg StoreConfig) (*Store, error) {
+	if cfg.TotalContainers <= 0 {
+		return nil, errors.New("segstore: TotalContainers must be positive")
+	}
+	if cfg.Cluster == nil {
+		return nil, errors.New("segstore: Cluster is required")
+	}
+	if err := cfg.Cluster.CreateAll(assignmentRoot, nil); err != nil && !errors.Is(err, cluster.ErrNodeExists) {
+		return nil, err
+	}
+	return &Store{
+		cfg:        cfg,
+		session:    cfg.Cluster.NewSession(),
+		containers: make(map[int]*Container),
+	}, nil
+}
+
+// ID returns the store's identifier.
+func (st *Store) ID() string { return st.cfg.ID }
+
+// StartContainer claims and starts the container with the given id. The
+// claim is an ephemeral node: if another live store holds it, the start
+// fails — at most one instance of a container runs at a time, and WAL
+// fencing protects the data even if the claim's owner is stale (§4.4).
+func (st *Store) StartContainer(id int) (*Container, error) {
+	if id < 0 || id >= st.cfg.TotalContainers {
+		return nil, fmt.Errorf("segstore: container id %d out of range [0,%d)", id, st.cfg.TotalContainers)
+	}
+	path := fmt.Sprintf("%s/%d", assignmentRoot, id)
+	if err := st.session.CreateEphemeral(path, []byte(st.cfg.ID)); err != nil {
+		if errors.Is(err, cluster.ErrNodeExists) {
+			return nil, fmt.Errorf("segstore: container %d already claimed: %w", id, err)
+		}
+		return nil, err
+	}
+	ccfg := st.cfg.Container
+	ccfg.ID = id
+	c, err := NewContainer(ccfg)
+	if err != nil {
+		_ = st.cfg.Cluster.Delete(path, -1)
+		return nil, err
+	}
+	st.mu.Lock()
+	st.containers[id] = c
+	st.mu.Unlock()
+	return c, nil
+}
+
+// Container returns the hosted container for a segment name, or
+// ErrWrongContainer when this store does not own the mapped container.
+func (st *Store) Container(segmentName string) (*Container, error) {
+	id := keyspace.HashToContainer(segmentName, st.cfg.TotalContainers)
+	return st.ContainerByID(id)
+}
+
+// ContainerByID returns a hosted container.
+func (st *Store) ContainerByID(id int) (*Container, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c, ok := st.containers[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: container %d not hosted on %s", ErrWrongContainer, id, st.cfg.ID)
+	}
+	return c, nil
+}
+
+// HostedContainers lists the ids of containers this store runs.
+func (st *Store) HostedContainers() []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]int, 0, len(st.containers))
+	for id := range st.containers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ContainerOwner resolves which store currently claims a container.
+func ContainerOwner(cs *cluster.Store, id int) (string, error) {
+	data, _, err := cs.Get(fmt.Sprintf("%s/%d", assignmentRoot, id))
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// CreateSegment routes to the owning container.
+func (st *Store) CreateSegment(name string) error {
+	c, err := st.Container(name)
+	if err != nil {
+		return err
+	}
+	return c.CreateSegment(name)
+}
+
+// Append routes to the owning container.
+func (st *Store) Append(name string, data []byte, writerID string, eventNum int64, eventCount int32) (int64, error) {
+	c, err := st.Container(name)
+	if err != nil {
+		return 0, err
+	}
+	return c.Append(name, data, writerID, eventNum, eventCount)
+}
+
+// Read routes to the owning container.
+func (st *Store) Read(name string, offset int64, maxBytes int, wait time.Duration) (ReadResult, error) {
+	c, err := st.Container(name)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return c.Read(name, offset, maxBytes, wait)
+}
+
+// Seal routes to the owning container.
+func (st *Store) Seal(name string) (int64, error) {
+	c, err := st.Container(name)
+	if err != nil {
+		return 0, err
+	}
+	return c.Seal(name)
+}
+
+// Truncate routes to the owning container.
+func (st *Store) Truncate(name string, offset int64) error {
+	c, err := st.Container(name)
+	if err != nil {
+		return err
+	}
+	return c.Truncate(name, offset)
+}
+
+// DeleteSegment routes to the owning container.
+func (st *Store) DeleteSegment(name string) error {
+	c, err := st.Container(name)
+	if err != nil {
+		return err
+	}
+	return c.DeleteSegment(name)
+}
+
+// GetInfo routes to the owning container.
+func (st *Store) GetInfo(name string) (segment.Info, error) {
+	c, err := st.Container(name)
+	if err != nil {
+		return segment.Info{}, err
+	}
+	return c.GetInfo(name)
+}
+
+// WriterState routes to the owning container.
+func (st *Store) WriterState(name, writerID string) (int64, error) {
+	c, err := st.Container(name)
+	if err != nil {
+		return -1, err
+	}
+	return c.WriterState(name, writerID)
+}
+
+// LoadReport aggregates per-segment load across hosted containers for the
+// controller's scaling feedback loop (§3.1).
+func (st *Store) LoadReport() []SegmentLoad {
+	st.mu.Lock()
+	cs := make([]*Container, 0, len(st.containers))
+	for _, c := range st.containers {
+		cs = append(cs, c)
+	}
+	st.mu.Unlock()
+	var out []SegmentLoad
+	for _, c := range cs {
+		out = append(out, c.LoadReport()...)
+	}
+	return out
+}
+
+// Close stops all hosted containers and releases the store's claims.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	cs := make([]*Container, 0, len(st.containers))
+	for _, c := range st.containers {
+		cs = append(cs, c)
+	}
+	st.mu.Unlock()
+	var firstErr error
+	for _, c := range cs {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	st.session.Close()
+	return firstErr
+}
+
+// Crash simulates an abrupt store failure: containers stop without
+// flushing; ephemeral claims disappear as the session closes, letting
+// another store take over (§4.4).
+func (st *Store) Crash() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	cs := make([]*Container, 0, len(st.containers))
+	for _, c := range st.containers {
+		cs = append(cs, c)
+	}
+	st.mu.Unlock()
+	for _, c := range cs {
+		c.Crash()
+	}
+	st.session.Close()
+}

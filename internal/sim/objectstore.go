@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// ObjectStoreConfig models an EFS/S3-class long-term store: every
+// individual transfer stream is capped (the paper measured ~160 MB/s for
+// single file/object transfers on both EFS and S3, §5.7), while aggregate
+// throughput scales with the number of parallel streams up to a ceiling.
+type ObjectStoreConfig struct {
+	// PerStreamBandwidth caps one sequential transfer, bytes/s.
+	PerStreamBandwidth float64
+	// AggregateBandwidth caps the sum over all parallel transfers, bytes/s.
+	AggregateBandwidth float64
+	// OpLatency is the fixed per-request cost (metadata round trip).
+	OpLatency time.Duration
+}
+
+// ObjectStorePerf applies the model. Callers obtain a Stream per logical
+// transfer channel (e.g. one per chunk being read, or one per segment being
+// flushed); parallel streams share the aggregate bucket.
+type ObjectStorePerf struct {
+	cfg       ObjectStoreConfig
+	aggregate *TokenBucket
+
+	mu      sync.Mutex
+	streams map[string]*TokenBucket
+}
+
+// NewObjectStorePerf builds the performance model.
+func NewObjectStorePerf(cfg ObjectStoreConfig) *ObjectStorePerf {
+	return &ObjectStorePerf{
+		cfg:       cfg,
+		aggregate: NewTokenBucket(cfg.AggregateBandwidth, 0),
+		streams:   make(map[string]*TokenBucket),
+	}
+}
+
+func (o *ObjectStorePerf) stream(id string) *TokenBucket {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	tb, ok := o.streams[id]
+	if !ok {
+		tb = NewTokenBucket(o.cfg.PerStreamBandwidth, 0)
+		o.streams[id] = tb
+	}
+	return tb
+}
+
+// Transfer models moving n bytes on the named stream (same name = same
+// sequential channel, subject to the per-stream cap). It blocks for the
+// modelled duration and returns it.
+func (o *ObjectStorePerf) Transfer(streamID string, n int) time.Duration {
+	start := time.Now()
+	if o.cfg.OpLatency > 0 {
+		time.Sleep(o.cfg.OpLatency)
+	}
+	o.stream(streamID).Take(n)
+	o.aggregate.Take(n)
+	return time.Since(start)
+}
+
+// ReleaseStream forgets the named stream's pacing state.
+func (o *ObjectStorePerf) ReleaseStream(streamID string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.streams, streamID)
+}

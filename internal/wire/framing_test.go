@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestMessageFramingRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := AppendReq{Segment: "a/b/0.#epoch.0", Data: []byte("payload"), CondOffset: -1}
+	if err := writeMessage(&buf, MsgAppend, 42, body); err != nil {
+		t.Fatal(err)
+	}
+	typ, id, raw, err := readMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgAppend || id != 42 {
+		t.Fatalf("type=%d id=%d", typ, id)
+	}
+	var got AppendReq
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Segment != body.Segment || !bytes.Equal(got.Data, body.Data) || got.CondOffset != -1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestMessageFramingMultiple(t *testing.T) {
+	var buf bytes.Buffer
+	for i := uint64(1); i <= 5; i++ {
+		if err := writeMessage(&buf, MsgReply, i, Reply{Offset: int64(i * 10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 5; i++ {
+		typ, id, raw, err := readMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != MsgReply || id != i {
+			t.Fatalf("msg %d: type=%d id=%d", i, typ, id)
+		}
+		var rep Reply
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatal(err)
+		}
+		if rep.Offset != int64(i*10) {
+			t.Fatalf("msg %d: offset %d", i, rep.Offset)
+		}
+	}
+}
+
+func TestReadMessageRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	// Forge a header claiming a body beyond maxBody.
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgAppend), 0, 0, 0, 0, 0, 0, 0, 1}
+	buf.Write(hdr)
+	if _, _, _, err := readMessage(&buf); err == nil {
+		t.Fatal("oversized body accepted")
+	}
+}
+
+func TestWriteMessageRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	big := AppendReq{Segment: "s", Data: make([]byte, maxBody)}
+	if err := writeMessage(&buf, MsgAppend, 1, big); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestReadMessageTruncatedInput(t *testing.T) {
+	// Header promising more bytes than present.
+	var buf bytes.Buffer
+	if err := writeMessage(&buf, MsgReply, 7, Reply{Offset: 1}); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-3]
+	if _, _, _, err := readMessage(bytes.NewReader(short)); err == nil {
+		t.Fatal("truncated message accepted")
+	}
+}

@@ -1,0 +1,289 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/controller"
+	"github.com/pravega-go/pravega/internal/hosting"
+	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/pkg/pravega"
+)
+
+// Server exposes a full Pravega node (control plane + data plane of an
+// in-process cluster) over TCP.
+type Server struct {
+	sys *pravega.System
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer starts listening on addr and serving the given system.
+func NewServer(sys *pravega.System, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{sys: sys, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and open connections (the system is left to the
+// caller).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	rd := bufio.NewReader(conn)
+	var wmu sync.Mutex
+	wr := bufio.NewWriter(conn)
+	reply := func(id uint64, rep Reply) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := writeMessage(wr, MsgReply, id, rep); err == nil {
+			_ = wr.Flush()
+		}
+	}
+	for {
+		t, id, body, err := readMessage(rd)
+		if err != nil {
+			return
+		}
+		// Appends and reads may block (durability, long-poll); handle each
+		// request on its own goroutine. FIFO sequencing for appends is
+		// preserved by dispatching synchronously up to the container queue.
+		switch t {
+		case MsgAppend:
+			var req AppendReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				reply(id, Reply{Err: err.Error()})
+				continue
+			}
+			cont, err := s.sys.Cluster().ContainerFor(req.Segment)
+			if err != nil {
+				reply(id, Reply{Err: err.Error()})
+				continue
+			}
+			if req.CondOffset >= 0 {
+				go func(id uint64) {
+					off, err := cont.AppendConditional(req.Segment, req.Data, req.CondOffset)
+					reply(id, errReply(err, Reply{Offset: off}))
+				}(id)
+				continue
+			}
+			// Synchronous enqueue (order), asynchronous completion.
+			ch := cont.AppendAsync(req.Segment, req.Data, req.WriterID, req.EventNum, req.EventCount)
+			go func(id uint64) {
+				r := <-ch
+				reply(id, errReply(r.Err, Reply{Offset: r.Offset}))
+			}(id)
+		default:
+			body := body
+			go func(t MessageType, id uint64, body []byte) {
+				reply(id, s.handle(t, body))
+			}(t, id, body)
+		}
+	}
+}
+
+func errReply(err error, rep Reply) Reply {
+	if err != nil {
+		return Reply{Err: err.Error()}
+	}
+	return rep
+}
+
+func (s *Server) handle(t MessageType, body []byte) Reply {
+	cl := s.sys.Cluster()
+	ctrl := s.sys.Controller()
+	switch t {
+	case MsgCreateSegment:
+		var req SegmentReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		return errReply(cl.CreateSegment(req.Segment), Reply{})
+	case MsgRead:
+		var req ReadReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		cont, err := cl.ContainerFor(req.Segment)
+		if err != nil {
+			return Reply{Err: err.Error()}
+		}
+		res, err := cont.Read(req.Segment, req.Offset, req.MaxBytes, time.Duration(req.WaitMS)*time.Millisecond)
+		if err != nil {
+			return Reply{Err: err.Error()}
+		}
+		return Reply{Data: res.Data, Offset: res.Offset, EOS: res.EndOfSegment}
+	case MsgSeal:
+		var req SegmentReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		n, err := cl.SealSegment(req.Segment)
+		return errReply(err, Reply{Offset: n})
+	case MsgTruncate:
+		var req SegmentReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		return errReply(cl.TruncateSegment(req.Segment, req.Offset), Reply{})
+	case MsgDeleteSegment:
+		var req SegmentReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		return errReply(cl.DeleteSegment(req.Segment), Reply{})
+	case MsgGetInfo:
+		var req SegmentReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		info, err := cl.SegmentInfo(req.Segment)
+		if err != nil {
+			return Reply{Err: err.Error()}
+		}
+		raw, _ := json.Marshal(info)
+		return Reply{JSON: raw}
+	case MsgWriterState:
+		var req SegmentReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		cont, err := cl.ContainerFor(req.Segment)
+		if err != nil {
+			return Reply{Err: err.Error()}
+		}
+		n, err := cont.WriterState(req.Segment, req.WriterID)
+		return errReply(err, Reply{Offset: n})
+	case MsgCreateScope:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		return errReply(ctrl.CreateScope(req.Scope), Reply{})
+	case MsgCreateStream:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		return errReply(ctrl.CreateStream(controller.StreamConfig{
+			Scope: req.Scope, Name: req.Stream, InitialSegments: req.Segments,
+		}), Reply{})
+	case MsgActiveSegments:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		segs, err := ctrl.GetActiveSegments(req.Scope, req.Stream)
+		if err != nil {
+			return Reply{Err: err.Error()}
+		}
+		raw, _ := json.Marshal(segs)
+		return Reply{JSON: raw, Count: len(segs)}
+	case MsgSuccessors:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		succ, err := ctrl.GetSuccessors(req.Scope, req.Stream, req.Segment)
+		if err != nil {
+			return Reply{Err: err.Error()}
+		}
+		raw, _ := json.Marshal(succ)
+		return Reply{JSON: raw, Count: len(succ)}
+	case MsgScale:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		segs, err := ctrl.GetActiveSegments(req.Scope, req.Stream)
+		if err != nil {
+			return Reply{Err: err.Error()}
+		}
+		for _, sr := range segs {
+			if sr.ID.Number == req.SealSegment {
+				factor := req.Factor
+				if factor < 2 {
+					factor = 2
+				}
+				return errReply(ctrl.Scale(req.Scope, req.Stream,
+					[]int64{req.SealSegment}, sr.KeyRange.Split(factor)), Reply{})
+			}
+		}
+		return Reply{Err: fmt.Sprintf("segment %d not active", req.SealSegment)}
+	case MsgSealStream:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		return errReply(ctrl.SealStream(req.Scope, req.Stream), Reply{})
+	case MsgSegmentCount:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return Reply{Err: err.Error()}
+		}
+		n, err := ctrl.SegmentCount(req.Scope, req.Stream)
+		return errReply(err, Reply{Count: n})
+	default:
+		return Reply{Err: fmt.Sprintf("wire: unknown request type %d", t)}
+	}
+}
+
+var _ = hosting.ClusterConfig{} // server bundles a hosted deployment
+var _ = keyspace.FullRange

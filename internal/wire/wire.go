@@ -1,0 +1,262 @@
+// Package wire implements the TCP protocol between Pravega clients and
+// server nodes: length-prefixed, request-id-correlated messages carrying
+// JSON bodies. Requests pipeline on one connection and responses may
+// return out of order, exactly like Pravega's wire protocol; the segment
+// append path preserves per-connection FIFO submission order, which the
+// event writer's ordering guarantee builds on (§3.2).
+//
+// The in-process deployments used by tests and benchmarks bypass this
+// layer; cmd/pravega-server and cmd/pravega-cli exercise it end to end.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MessageType tags a request or response.
+type MessageType uint8
+
+// Request/response message types.
+const (
+	// Segment-store requests.
+	MsgCreateSegment MessageType = iota + 1
+	MsgAppend
+	MsgRead
+	MsgSeal
+	MsgTruncate
+	MsgDeleteSegment
+	MsgGetInfo
+	MsgWriterState
+	// Controller requests.
+	MsgCreateScope
+	MsgCreateStream
+	MsgActiveSegments
+	MsgSuccessors
+	MsgScale
+	MsgSealStream
+	MsgSegmentCount
+	// Response.
+	MsgReply
+)
+
+// Every message is preceded by a fixed header: 4-byte body length, 1-byte
+// message type, 8-byte request id.
+const headerSize = 4 + 1 + 8
+
+// maxBody bounds one message (events are ≤ 8 MiB in this build).
+const maxBody = 32 << 20
+
+// writeMessage frames and writes one message.
+func writeMessage(w io.Writer, t MessageType, reqID uint64, body any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	if len(data) > maxBody {
+		return fmt.Errorf("wire: body too large (%d bytes)", len(data))
+	}
+	var hdr [headerSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(data)))
+	hdr[4] = byte(t)
+	binary.BigEndian.PutUint64(hdr[5:13], reqID)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// readMessage reads one framed message.
+func readMessage(r io.Reader) (MessageType, uint64, []byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > maxBody {
+		return 0, 0, nil, fmt.Errorf("wire: oversized body (%d bytes)", n)
+	}
+	t := MessageType(hdr[4])
+	id := binary.BigEndian.Uint64(hdr[5:13])
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, err
+	}
+	return t, id, body, nil
+}
+
+// Request bodies.
+
+// AppendReq is a segment append.
+type AppendReq struct {
+	Segment    string `json:"segment"`
+	Data       []byte `json:"data"`
+	WriterID   string `json:"writerId,omitempty"`
+	EventNum   int64  `json:"eventNum,omitempty"`
+	EventCount int32  `json:"eventCount,omitempty"`
+	CondOffset int64  `json:"condOffset"` // -1 = unconditional
+}
+
+// ReadReq is a segment read.
+type ReadReq struct {
+	Segment  string `json:"segment"`
+	Offset   int64  `json:"offset"`
+	MaxBytes int    `json:"maxBytes"`
+	WaitMS   int64  `json:"waitMs"`
+}
+
+// SegmentReq names a segment (create/seal/delete/info).
+type SegmentReq struct {
+	Segment  string `json:"segment"`
+	Offset   int64  `json:"offset,omitempty"`   // truncate
+	WriterID string `json:"writerId,omitempty"` // writer state
+}
+
+// StreamReq names a stream (controller operations).
+type StreamReq struct {
+	Scope    string `json:"scope"`
+	Stream   string `json:"stream,omitempty"`
+	Segments int    `json:"segments,omitempty"`
+	// Scale fields.
+	SealSegment int64 `json:"sealSegment,omitempty"`
+	Factor      int   `json:"factor,omitempty"`
+	// Successors query.
+	Segment int64 `json:"segment,omitempty"`
+}
+
+// Reply is the uniform response body.
+type Reply struct {
+	Err    string          `json:"err,omitempty"`
+	Offset int64           `json:"offset,omitempty"`
+	Data   []byte          `json:"data,omitempty"`
+	EOS    bool            `json:"eos,omitempty"`
+	Count  int             `json:"count,omitempty"`
+	JSON   json.RawMessage `json:"json,omitempty"`
+}
+
+// Conn is a pipelined client connection.
+type Conn struct {
+	mu     sync.Mutex
+	nextID uint64
+	wr     *bufio.Writer
+	conn   net.Conn
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan Reply
+	readErr error
+	closed  bool
+}
+
+// Dial connects to a server node.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		conn:    nc,
+		wr:      bufio.NewWriter(nc),
+		pending: make(map[uint64]chan Reply),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Conn) readLoop() {
+	rd := bufio.NewReader(c.conn)
+	for {
+		t, id, body, err := readMessage(rd)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		if t != MsgReply {
+			c.failAll(fmt.Errorf("wire: unexpected message type %d", t))
+			return
+		}
+		var rep Reply
+		if err := json.Unmarshal(body, &rep); err != nil {
+			c.failAll(err)
+			return
+		}
+		c.pendMu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.pendMu.Unlock()
+		if ch != nil {
+			ch <- rep
+		}
+	}
+}
+
+func (c *Conn) failAll(err error) {
+	c.pendMu.Lock()
+	c.readErr = err
+	for id, ch := range c.pending {
+		ch <- Reply{Err: err.Error()}
+		delete(c.pending, id)
+	}
+	c.pendMu.Unlock()
+}
+
+// Call sends a request and waits for its reply.
+func (c *Conn) Call(t MessageType, body any) (Reply, error) {
+	ch, err := c.CallAsync(t, body)
+	if err != nil {
+		return Reply{}, err
+	}
+	rep := <-ch
+	if rep.Err != "" {
+		return rep, fmt.Errorf("wire: %s", rep.Err)
+	}
+	return rep, nil
+}
+
+// CallAsync sends a request; the reply arrives on the returned channel.
+// Requests issued from one goroutine are written in order.
+func (c *Conn) CallAsync(t MessageType, body any) (<-chan Reply, error) {
+	ch := make(chan Reply, 1)
+	c.pendMu.Lock()
+	if c.readErr != nil || c.closed {
+		err := c.readErr
+		c.pendMu.Unlock()
+		if err == nil {
+			err = net.ErrClosed
+		}
+		return nil, err
+	}
+	c.pendMu.Unlock()
+
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.pendMu.Lock()
+	c.pending[id] = ch
+	c.pendMu.Unlock()
+	err := writeMessage(c.wr, t, id, body)
+	if err == nil {
+		err = c.wr.Flush()
+	}
+	c.mu.Unlock()
+	if err != nil {
+		c.pendMu.Lock()
+		delete(c.pending, id)
+		c.pendMu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Close tears the connection down.
+func (c *Conn) Close() error {
+	c.pendMu.Lock()
+	c.closed = true
+	c.pendMu.Unlock()
+	return c.conn.Close()
+}

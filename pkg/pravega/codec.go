@@ -1,0 +1,38 @@
+package pravega
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Events are stored in segments as length-prefixed frames: the segment
+// store itself does not track event boundaries (§2.1); the client codec
+// defines them.
+
+// appendEventFrame serializes one event into dst.
+func appendEventFrame(dst, event []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(event)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, event...)
+}
+
+// eventFrameSize returns the on-segment size of one event.
+func eventFrameSize(event []byte) int { return 4 + len(event) }
+
+// decodeEventFrame extracts the first complete event from buf, returning
+// the event, the remaining buffer, and whether a complete frame was
+// present.
+func decodeEventFrame(buf []byte) (event, rest []byte, ok bool, err error) {
+	if len(buf) < 4 {
+		return nil, buf, false, nil
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if n > 64<<20 {
+		return nil, buf, false, errors.New("pravega: corrupt event frame (length too large)")
+	}
+	if len(buf) < int(4+n) {
+		return nil, buf, false, nil
+	}
+	return buf[4 : 4+n], buf[4+n:], true, nil
+}

@@ -1,0 +1,90 @@
+package pravega
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/pravega-go/pravega/internal/hosting"
+	"github.com/pravega-go/pravega/internal/kvtable"
+)
+
+// KeyValueTable is a durable, replicated key-value table backed by a
+// Pravega segment, with per-key versions, conditional updates and multi-key
+// transactions — the same facility Pravega uses internally for stream and
+// chunk metadata (§2.2, §4.3). Multiple clients may open the same table;
+// optimistic concurrency resolves conflicts.
+type KeyValueTable struct {
+	table *kvtable.Table
+}
+
+// Version sentinels re-exported for conditional operations.
+const (
+	// AnyVersion makes an operation unconditional.
+	AnyVersion = kvtable.AnyVersion
+	// NotExists requires the key to be absent.
+	NotExists = kvtable.NotExists
+)
+
+// TableEntry is one key's state.
+type TableEntry = kvtable.Entry
+
+// TableOp is one operation of a table transaction.
+type TableOp = kvtable.TxnOp
+
+// NewKeyValueTable opens (creating if needed) the named table in a scope.
+func (s *System) NewKeyValueTable(scope, name string) (*KeyValueTable, error) {
+	seg := fmt.Sprintf("%s/_kvtable-%s/0.#epoch.0", scope, name)
+	if err := s.cluster.CreateSegment(seg); err != nil && !isExists(err) {
+		return nil, err
+	}
+	conn := s.cluster.NewClientConn(s.profile)
+	backing := &kvBacking{conn: conn, segment: seg}
+	// The instance id only needs to differ between concurrently open
+	// handles; the connection pointer value's low bits suffice.
+	return &KeyValueTable{table: kvtable.New(backing, instanceID())}, nil
+}
+
+var kvInstanceCounter atomic.Int64
+
+func instanceID() int64 { return kvInstanceCounter.Add(1) }
+
+type kvBacking struct {
+	conn    *hosting.Conn
+	segment string
+}
+
+func (b *kvBacking) AppendConditional(data []byte, expectedOffset int64) (int64, error) {
+	return b.conn.AppendConditional(b.segment, data, expectedOffset)
+}
+
+func (b *kvBacking) Read(offset int64, maxBytes int) ([]byte, error) {
+	res, err := b.conn.Read(b.segment, offset, maxBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	return res.Data, nil
+}
+
+// Get returns the key's entry, or ok=false when absent.
+func (t *KeyValueTable) Get(key string) (TableEntry, bool, error) { return t.table.Get(key) }
+
+// Put writes key=value conditionally on expected (AnyVersion, NotExists or
+// an exact version) and returns the new version.
+func (t *KeyValueTable) Put(key string, value []byte, expected int64) (int64, error) {
+	return t.table.Put(key, value, expected)
+}
+
+// Delete removes the key conditionally.
+func (t *KeyValueTable) Delete(key string, expected int64) error {
+	return t.table.Delete(key, expected)
+}
+
+// Txn applies all operations atomically, or none (§4.3: "transactions to
+// update multiple keys at once").
+func (t *KeyValueTable) Txn(ops []TableOp) error { return t.table.Txn(ops) }
+
+// Keys lists the table's keys, sorted.
+func (t *KeyValueTable) Keys() ([]string, error) { return t.table.Keys() }
+
+// Len returns the number of keys.
+func (t *KeyValueTable) Len() (int, error) { return t.table.Len() }

@@ -1,0 +1,259 @@
+// Package pravega is the public client API of this Pravega reproduction: a
+// distributed, tiered storage system for data streams (Gracia-Tinedo et
+// al., Middleware '23).
+//
+// A System bundles a running cluster (controller, segment stores, bookie
+// ensemble, long-term storage). Applications create scopes and streams
+// through the stream-manager methods, append events with EventWriter
+// (per-routing-key order, exactly-once), and consume them with coordinated
+// ReaderGroups. Streams are elastic: with an auto-scaling policy the system
+// splits and merges segments as the ingest load changes.
+//
+// Quick start:
+//
+//	sys, _ := pravega.NewInProcess(pravega.SystemConfig{})
+//	defer sys.Close()
+//	_ = sys.CreateScope("demo")
+//	_ = sys.CreateStream(pravega.StreamConfig{Scope: "demo", Name: "events", InitialSegments: 2})
+//	w, _ := sys.NewWriter(pravega.WriterConfig{Scope: "demo", Stream: "events"})
+//	_ = w.WriteEvent("sensor-1", []byte("hello")).Wait()
+//	rg, _ := sys.NewReaderGroup("rg", "demo", "events")
+//	r, _ := rg.NewReader("reader-1")
+//	ev, _ := r.ReadNextEvent(time.Second)
+package pravega
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/controller"
+	"github.com/pravega-go/pravega/internal/hosting"
+	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/sim"
+)
+
+// ScalingType selects the auto-scaling trigger of a stream policy.
+type ScalingType string
+
+// Scaling policy kinds (§2.1 of the paper).
+const (
+	// ScalingFixed keeps the segment count static.
+	ScalingFixed ScalingType = "fixed"
+	// ScalingByEventRate scales on events/second per segment.
+	ScalingByEventRate ScalingType = "events"
+	// ScalingByThroughput scales on bytes/second per segment.
+	ScalingByThroughput ScalingType = "bytes"
+)
+
+// ScalingPolicy configures stream elasticity (§3.1).
+type ScalingPolicy struct {
+	// Type selects the trigger metric.
+	Type ScalingType
+	// TargetRate is the desired per-segment rate (events/s or bytes/s).
+	TargetRate float64
+	// ScaleFactor is how many successors a hot segment splits into.
+	ScaleFactor int
+	// MinSegments floors scale-down merges.
+	MinSegments int
+}
+
+// RetentionType selects the truncation bound of a retention policy.
+type RetentionType string
+
+// Retention policy kinds (§2.1).
+const (
+	// RetentionNone retains the full stream history.
+	RetentionNone RetentionType = "none"
+	// RetentionBySize truncates once the stream exceeds LimitBytes.
+	RetentionBySize RetentionType = "size"
+	// RetentionByTime truncates data older than LimitDuration.
+	RetentionByTime RetentionType = "time"
+)
+
+// RetentionPolicy bounds retained stream history.
+type RetentionPolicy struct {
+	Type          RetentionType
+	LimitBytes    int64
+	LimitDuration time.Duration
+}
+
+// StreamConfig describes a stream at creation time. Policies can be
+// updated later with UpdateStreamPolicies.
+type StreamConfig struct {
+	Scope           string
+	Name            string
+	InitialSegments int
+	Scaling         ScalingPolicy
+	Retention       RetentionPolicy
+}
+
+// SystemConfig parameterizes an in-process deployment.
+type SystemConfig struct {
+	// Cluster sizes the data plane (defaults: 3 stores × 4 containers,
+	// 3 bookies, replication 3/3/2 — the paper's Table 1 layout).
+	Cluster hosting.ClusterConfig
+	// Profile enables the simulated performance substrate (nil = run at
+	// memory speed; used by unit tests and examples).
+	Profile *sim.Profile
+	// PolicyInterval starts the controller's auto-scaling and retention
+	// loops at this period (zero = loops disabled).
+	PolicyInterval time.Duration
+	// ScaleCooldown is the per-stream hysteresis between scaling events.
+	ScaleCooldown time.Duration
+}
+
+// System is a running Pravega deployment plus its control plane.
+type System struct {
+	cluster *hosting.Cluster
+	ctrl    *controller.Controller
+	profile *sim.Profile
+}
+
+// NewInProcess starts a full in-process deployment.
+func NewInProcess(cfg SystemConfig) (*System, error) {
+	cfg.Cluster.Profile = cfg.Profile
+	cl, err := hosting.NewCluster(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := controller.New(controller.Config{
+		Data:          cl,
+		Cluster:       cl.Meta,
+		ScaleCooldown: cfg.ScaleCooldown,
+	})
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	if cfg.PolicyInterval > 0 {
+		ctrl.StartPolicyLoops(cfg.PolicyInterval)
+	}
+	return &System{cluster: cl, ctrl: ctrl, profile: cfg.Profile}, nil
+}
+
+// Close shuts the deployment down.
+func (s *System) Close() {
+	s.ctrl.Close()
+	s.cluster.Close()
+}
+
+// Cluster exposes the underlying deployment (advanced use: failure
+// injection in tests, metrics in the benchmark harness).
+func (s *System) Cluster() *hosting.Cluster { return s.cluster }
+
+// Controller exposes the control plane (advanced use).
+func (s *System) Controller() *controller.Controller { return s.ctrl }
+
+// CreateScope registers a stream namespace.
+func (s *System) CreateScope(scope string) error { return s.ctrl.CreateScope(scope) }
+
+// CreateStream creates a stream.
+func (s *System) CreateStream(cfg StreamConfig) error {
+	return s.ctrl.CreateStream(controller.StreamConfig{
+		Scope:           cfg.Scope,
+		Name:            cfg.Name,
+		InitialSegments: cfg.InitialSegments,
+		Scaling:         toInternalScaling(cfg.Scaling),
+		Retention: controller.RetentionPolicy{
+			Type:          controller.RetentionType(orDefault(string(cfg.Retention.Type), string(RetentionNone))),
+			LimitBytes:    cfg.Retention.LimitBytes,
+			LimitDuration: cfg.Retention.LimitDuration,
+		},
+	})
+}
+
+func toInternalScaling(p ScalingPolicy) controller.ScalingPolicy {
+	return controller.ScalingPolicy{
+		Type:        controller.ScalingType(orDefault(string(p.Type), string(ScalingFixed))),
+		TargetRate:  p.TargetRate,
+		ScaleFactor: p.ScaleFactor,
+		MinSegments: p.MinSegments,
+	}
+}
+
+func orDefault(v, d string) string {
+	if v == "" {
+		return d
+	}
+	return v
+}
+
+// UpdateStreamPolicies replaces a stream's policies at runtime (§2.1).
+func (s *System) UpdateStreamPolicies(scope, stream string, scaling *ScalingPolicy, retention *RetentionPolicy) error {
+	var sp *controller.ScalingPolicy
+	if scaling != nil {
+		v := toInternalScaling(*scaling)
+		sp = &v
+	}
+	var rp *controller.RetentionPolicy
+	if retention != nil {
+		rp = &controller.RetentionPolicy{
+			Type:          controller.RetentionType(retention.Type),
+			LimitBytes:    retention.LimitBytes,
+			LimitDuration: retention.LimitDuration,
+		}
+	}
+	return s.ctrl.UpdateStreamPolicies(scope, stream, sp, rp)
+}
+
+// SealStream makes a stream read-only.
+func (s *System) SealStream(scope, stream string) error { return s.ctrl.SealStream(scope, stream) }
+
+// DeleteStream removes a sealed stream.
+func (s *System) DeleteStream(scope, stream string) error { return s.ctrl.DeleteStream(scope, stream) }
+
+// SegmentCount reports the stream's current parallelism.
+func (s *System) SegmentCount(scope, stream string) (int, error) {
+	return s.ctrl.SegmentCount(scope, stream)
+}
+
+// ScaleStream manually splits one active segment into factor successors
+// (auto-scaling does this from load; the manual form serves admin tooling).
+func (s *System) ScaleStream(scope, stream string, segmentNumber int64, factor int) error {
+	segs, err := s.ctrl.GetActiveSegments(scope, stream)
+	if err != nil {
+		return err
+	}
+	for _, sr := range segs {
+		if sr.ID.Number == segmentNumber {
+			return s.ctrl.Scale(scope, stream, []int64{segmentNumber}, sr.KeyRange.Split(factor))
+		}
+	}
+	return fmt.Errorf("pravega: segment %d is not active in %s/%s", segmentNumber, scope, stream)
+}
+
+// TruncateStreamAtTail truncates the whole stream history up to "now": it
+// records the current tail as a stream cut and truncates there.
+func (s *System) TruncateStreamAtTail(scope, stream string) error {
+	segs, err := s.ctrl.GetActiveSegments(scope, stream)
+	if err != nil {
+		return err
+	}
+	cut := make(controller.StreamCut, len(segs))
+	for _, sr := range segs {
+		info, err := s.cluster.SegmentInfo(sr.ID.QualifiedName())
+		if err != nil {
+			return err
+		}
+		cut[sr.ID.Number] = info.Length
+	}
+	return s.ctrl.TruncateStream(scope, stream, cut)
+}
+
+// routeTable is the writer's view of a stream's active segments.
+type routeTable struct {
+	segments []controller.SegmentWithRange
+}
+
+// segmentFor maps a hashed key to the owning active segment.
+func (rt *routeTable) segmentFor(h float64) (controller.SegmentWithRange, error) {
+	for _, s := range rt.segments {
+		if s.KeyRange.Contains(h) {
+			return s, nil
+		}
+	}
+	return controller.SegmentWithRange{}, errors.New("pravega: no active segment covers key")
+}
+
+var _ = keyspace.HashKey // referenced by writer.go

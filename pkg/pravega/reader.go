@@ -1,0 +1,367 @@
+package pravega
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/segstore"
+)
+
+// ErrNoEvent is returned by ReadNextEvent when the timeout elapses with no
+// event available (the stream tail was reached and nothing new arrived).
+var ErrNoEvent = errors.New("pravega: no event within timeout")
+
+// Event is one consumed stream event.
+type Event struct {
+	// Data is the event payload.
+	Data []byte
+	// Stream is the stream the event came from (reader groups may span
+	// several streams).
+	Stream string
+	// Segment is the number of the segment the event came from.
+	Segment int64
+	// Offset is the event frame's start offset within the segment.
+	Offset int64
+}
+
+// Reader consumes events from the segments its reader group assigns to it.
+// Events with the same routing key are delivered in append order (§3.3).
+type Reader struct {
+	rg   *ReaderGroup
+	name string
+
+	mu       sync.Mutex
+	owned    map[string]*ownedSegment
+	rr       []string // round-robin order
+	rrNext   int
+	lastSync time.Time
+	closed   bool
+
+	// catchUpBytes sizes tail fetches; far-behind segments use larger
+	// reads so historical catch-up saturates LTS streams (§5.7).
+	fetchBytes int
+}
+
+// ownedSegment is one assigned segment's read cursor.
+type ownedSegment struct {
+	rec    rgSegment
+	offset int64 // next segment offset to fetch
+	buf    []byte
+	bufAt  int64 // segment offset of buf[0]
+	fetch  int   // adaptive fetch size (catch-up escalation)
+}
+
+// NewReader registers a reader in the group.
+func (rg *ReaderGroup) NewReader(name string) (*Reader, error) {
+	err := rg.sync.Update(func() ([]byte, error) {
+		rg.mu.Lock()
+		known := rg.state.readers[name]
+		rg.mu.Unlock()
+		if known {
+			return nil, nil
+		}
+		return json.Marshal(rgUpdate{Op: "addReader", Reader: name})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{rg: rg, name: name, owned: make(map[string]*ownedSegment), fetchBytes: 64 << 10}, nil
+}
+
+// rebalance refreshes group state and acquires segments up to the fair
+// share. It also reconciles the local owned set with the group's view.
+func (r *Reader) rebalance() error {
+	if err := r.rg.sync.Fetch(); err != nil {
+		return err
+	}
+	assigned, unassigned, readers := r.rg.snapshot()
+	if readers == 0 {
+		return nil
+	}
+	// Drop segments no longer ours (released or reassigned).
+	r.mu.Lock()
+	for qn := range r.owned {
+		if assigned[qn] != r.name {
+			delete(r.owned, qn)
+		}
+	}
+	mine := 0
+	for _, owner := range assigned {
+		if owner == r.name {
+			mine++
+		}
+	}
+	total := len(assigned) + len(unassigned)
+	fair := (total + readers - 1) / readers
+	want := fair - mine
+
+	// Over fair share (another reader joined): release surplus segments so
+	// the group converges to a fair distribution (§3.3).
+	var release []struct {
+		qn  string
+		off int64
+	}
+	if mine > fair {
+		surplus := mine - fair
+		for qn, seg := range r.owned {
+			if surplus == 0 {
+				break
+			}
+			release = append(release, struct {
+				qn  string
+				off int64
+			}{qn, seg.bufAt})
+			delete(r.owned, qn)
+			surplus--
+		}
+	}
+	r.mu.Unlock()
+	for _, rel := range release {
+		rel := rel
+		err := r.rg.sync.Update(func() ([]byte, error) {
+			r.rg.mu.Lock()
+			ownedByMe := r.rg.state.assigned[rel.qn] == r.name
+			r.rg.mu.Unlock()
+			if !ownedByMe {
+				return nil, nil
+			}
+			return json.Marshal(rgUpdate{Op: "release", Reader: r.name, Segment: rel.qn, Offset: rel.off})
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	for i := 0; i < len(unassigned) && want > 0; i++ {
+		qn := unassigned[i]
+		err := r.rg.sync.Update(func() ([]byte, error) {
+			r.rg.mu.Lock()
+			free := r.rg.state.unassigned[qn]
+			r.rg.mu.Unlock()
+			if !free {
+				return nil, nil
+			}
+			return json.Marshal(rgUpdate{Op: "acquire", Reader: r.name, Segment: qn})
+		})
+		if err != nil {
+			return err
+		}
+		want--
+	}
+
+	// Adopt newly acquired segments.
+	assigned, _, _ = r.rg.snapshot()
+	r.mu.Lock()
+	for qn, owner := range assigned {
+		if owner != r.name {
+			continue
+		}
+		if _, ok := r.owned[qn]; !ok {
+			rec, ok := r.rg.segmentRecord(qn)
+			if !ok {
+				continue
+			}
+			r.owned[qn] = &ownedSegment{rec: rec, offset: rec.StartOffset, bufAt: rec.StartOffset}
+		}
+	}
+	r.rr = r.rr[:0]
+	for qn := range r.owned {
+		r.rr = append(r.rr, qn)
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// ReadNextEvent returns the next event from any assigned segment, waiting
+// up to timeout. It returns ErrNoEvent on a quiet tail.
+func (r *Reader) ReadNextEvent(timeout time.Duration) (Event, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return Event{}, errors.New("pravega: reader closed")
+		}
+		needSync := time.Since(r.lastSync) > 100*time.Millisecond || len(r.owned) == 0
+		r.mu.Unlock()
+		if needSync {
+			if err := r.rebalance(); err != nil {
+				return Event{}, err
+			}
+			r.mu.Lock()
+			r.lastSync = time.Now()
+			r.mu.Unlock()
+		}
+
+		// Serve a buffered event if any segment has one.
+		if ev, ok, err := r.popBuffered(); err != nil {
+			return Event{}, err
+		} else if ok {
+			return ev, nil
+		}
+
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Event{}, ErrNoEvent
+		}
+
+		// Fetch more data from the next segment in round-robin order.
+		seg := r.nextSegment()
+		if seg == nil {
+			// Nothing assigned yet; wait briefly for assignments.
+			sleep := 10 * time.Millisecond
+			if sleep > remain {
+				sleep = remain
+			}
+			time.Sleep(sleep)
+			continue
+		}
+		if err := r.fill(seg, remain); err != nil {
+			return Event{}, err
+		}
+	}
+}
+
+// popBuffered returns the first complete buffered event across owned
+// segments.
+func (r *Reader) popBuffered() (Event, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, seg := range r.owned {
+		ev, rest, ok, err := decodeEventFrame(seg.buf)
+		if err != nil {
+			return Event{}, false, err
+		}
+		if !ok {
+			continue
+		}
+		evOffset := seg.bufAt
+		seg.bufAt += int64(len(seg.buf) - len(rest))
+		seg.buf = rest
+		out := Event{
+			Data:    append([]byte(nil), ev...),
+			Stream:  seg.rec.Stream,
+			Segment: seg.rec.Number,
+			Offset:  evOffset,
+		}
+		return out, true, nil
+	}
+	return Event{}, false, nil
+}
+
+// nextSegment picks the next owned segment round-robin.
+func (r *Reader) nextSegment() *ownedSegment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.rr) == 0 {
+		return nil
+	}
+	for i := 0; i < len(r.rr); i++ {
+		qn := r.rr[r.rrNext%len(r.rr)]
+		r.rrNext++
+		if seg, ok := r.owned[qn]; ok {
+			return seg
+		}
+	}
+	return nil
+}
+
+// fill fetches bytes for one segment, handling tail long-polls, truncation
+// jumps and end-of-segment completion. Far-behind cursors use large reads
+// so catch-up saturates the historical read path (§5.7).
+func (r *Reader) fill(seg *ownedSegment, maxWait time.Duration) error {
+	wait := 20 * time.Millisecond
+	if wait > maxWait {
+		wait = maxWait
+	}
+	fetch := seg.fetch
+	if fetch <= 0 {
+		fetch = r.fetchBytes
+	}
+	res, err := r.rg.conn.Read(seg.rec.Qualified, seg.offset, fetch, wait)
+	// Self-adapting fetch size: full reads mean the cursor is behind, so
+	// escalate toward 1 MiB catch-up reads; short reads reset to the tail
+	// size.
+	if err == nil && !res.EndOfSegment {
+		if len(res.Data) >= fetch {
+			next := fetch * 4
+			if next > 1<<20 {
+				next = 1 << 20
+			}
+			seg.fetch = next
+		} else {
+			seg.fetch = r.fetchBytes
+		}
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, segstore.ErrSegmentTruncated):
+		// Retention moved the head; jump forward.
+		info, ierr := r.rg.conn.GetInfo(seg.rec.Qualified)
+		if ierr != nil {
+			return ierr
+		}
+		r.mu.Lock()
+		seg.offset = info.StartOffset
+		seg.buf = nil
+		seg.bufAt = info.StartOffset
+		r.mu.Unlock()
+		return nil
+	default:
+		return err
+	}
+	if res.EndOfSegment {
+		// Finished this segment: tell the group and fetch successors
+		// (§3.3). The group's barrier keeps merged successors pending
+		// until all predecessors are done.
+		r.mu.Lock()
+		delete(r.owned, seg.rec.Qualified)
+		r.mu.Unlock()
+		if err := r.rg.completeSegment(seg.rec); err != nil {
+			return err
+		}
+		return r.rebalance()
+	}
+	if len(res.Data) > 0 {
+		r.mu.Lock()
+		seg.buf = append(seg.buf, res.Data...)
+		seg.offset += int64(len(res.Data))
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// Close releases the reader's segments back to the group.
+func (r *Reader) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	owned := make(map[string]int64, len(r.owned))
+	for qn, seg := range r.owned {
+		owned[qn] = seg.bufAt // unconsumed buffered bytes re-read later
+	}
+	r.mu.Unlock()
+	for qn, off := range owned {
+		qn, off := qn, off
+		err := r.rg.sync.Update(func() ([]byte, error) {
+			return json.Marshal(rgUpdate{Op: "release", Reader: r.name, Segment: qn, Offset: off})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return r.rg.sync.Update(func() ([]byte, error) {
+		r.rg.mu.Lock()
+		member := r.rg.state.readers[r.name]
+		r.rg.mu.Unlock()
+		if !member {
+			return nil, nil
+		}
+		return json.Marshal(rgUpdate{Op: "removeReader", Reader: r.name})
+	})
+}

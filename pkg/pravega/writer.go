@@ -1,0 +1,428 @@
+package pravega
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/controller"
+	"github.com/pravega-go/pravega/internal/hosting"
+	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/segstore"
+)
+
+// WriterConfig parameterizes an EventWriter.
+type WriterConfig struct {
+	// Scope and Stream name the target stream.
+	Scope  string
+	Stream string
+	// MaxBatchSize bounds one append batch in bytes (default 1 MiB, §4.1).
+	MaxBatchSize int
+	// MaxInFlight bounds pipelined appends per segment (default 2: one
+	// batch on the wire while the next fills — the paper's "batch data is
+	// a mix of data in-flight and data collected at the server").
+	MaxInFlight int
+	// ID identifies the writer for exactly-once deduplication; generated
+	// when empty.
+	ID string
+}
+
+func (c *WriterConfig) defaults() {
+	if c.MaxBatchSize <= 0 {
+		c.MaxBatchSize = 1 << 20
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2
+	}
+	if c.ID == "" {
+		c.ID = fmt.Sprintf("writer-%d", time.Now().UnixNano())
+	}
+}
+
+// WriteFuture resolves when an event is durably acknowledged.
+type WriteFuture struct {
+	ch  chan struct{}
+	err error
+}
+
+func newFuture() *WriteFuture { return &WriteFuture{ch: make(chan struct{})} }
+
+func (f *WriteFuture) complete(err error) {
+	f.err = err
+	close(f.ch)
+}
+
+// Wait blocks for the acknowledgement.
+func (f *WriteFuture) Wait() error {
+	<-f.ch
+	return f.err
+}
+
+// Done returns a channel closed on acknowledgement.
+func (f *WriteFuture) Done() <-chan struct{} { return f.ch }
+
+// Err returns the result; only valid after Done.
+func (f *WriteFuture) Err() error { return f.err }
+
+// pendingEvent is one event retained until acknowledged (needed to re-route
+// on segment seal, §3.2).
+type pendingEvent struct {
+	key    string
+	hash   float64
+	data   []byte
+	future *WriteFuture
+	seq    int64
+}
+
+// EventWriter appends events to a stream with per-routing-key order and
+// exactly-once semantics. Batching is dynamic and self-clocking (§4.1):
+// when a segment has no append in flight, events ship immediately (no
+// batching latency at low rates); while appends are in flight, arriving
+// events accumulate into the next batch, so batch size automatically grows
+// to ingest-rate × round-trip-time at high rates — the paper's
+// min(MaxBatchSize, rate × RTT/2) estimate emerges without tuning knobs.
+type EventWriter struct {
+	cfg  WriterConfig
+	sys  *System
+	conn *hosting.Conn
+
+	mu      sync.Mutex
+	route   routeTable
+	writers map[int64]*segmentWriter
+	closed  bool
+
+	eventSeq   atomic.Int64
+	bytesAcked atomic.Int64
+
+	statMu sync.Mutex
+	rtt    time.Duration // EWMA of append round trips (diagnostics)
+}
+
+// NewWriter creates an event writer for a stream.
+func (s *System) NewWriter(cfg WriterConfig) (*EventWriter, error) {
+	cfg.defaults()
+	segs, err := s.ctrl.GetActiveSegments(cfg.Scope, cfg.Stream)
+	if err != nil {
+		return nil, err
+	}
+	w := &EventWriter{
+		cfg:     cfg,
+		sys:     s,
+		conn:    s.cluster.NewClientConn(s.profile),
+		route:   routeTable{segments: segs},
+		writers: make(map[int64]*segmentWriter),
+		rtt:     s.profileRTT(),
+	}
+	return w, nil
+}
+
+func (s *System) profileRTT() time.Duration {
+	if s.profile == nil {
+		return 500 * time.Microsecond
+	}
+	return s.profile.ClientLink.RTT()
+}
+
+// ID returns the writer id used for deduplication.
+func (w *EventWriter) ID() string { return w.cfg.ID }
+
+// WriteEvent routes an event by key and returns a future resolved when the
+// event is durable. Events with the same routing key are appended — and
+// will be read — in WriteEvent order (§3.2).
+func (w *EventWriter) WriteEvent(routingKey string, event []byte) *WriteFuture {
+	f := newFuture()
+	pe := pendingEvent{
+		key:    routingKey,
+		hash:   keyspace.HashKey(routingKey),
+		data:   event,
+		future: f,
+		seq:    w.eventSeq.Add(1),
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		f.complete(errors.New("pravega: writer closed"))
+		return f
+	}
+	w.enqueueLocked(pe)
+	w.mu.Unlock()
+	return f
+}
+
+// enqueueLocked routes one pending event to its segment writer. Caller
+// holds w.mu.
+func (w *EventWriter) enqueueLocked(pe pendingEvent) {
+	seg, err := w.route.segmentFor(pe.hash)
+	if err != nil {
+		pe.future.complete(err)
+		return
+	}
+	sw, ok := w.writers[seg.ID.Number]
+	if !ok {
+		sw = newSegmentWriter(w, seg)
+		w.writers[seg.ID.Number] = sw
+	}
+	sw.add(pe)
+}
+
+// observeRTT folds one server round-trip sample into the EWMA.
+func (w *EventWriter) observeRTT(d time.Duration) {
+	const alpha = 0.2
+	w.statMu.Lock()
+	w.rtt = time.Duration(float64(w.rtt)*(1-alpha) + float64(d)*alpha)
+	w.statMu.Unlock()
+}
+
+// RTT returns the writer's current server round-trip estimate.
+func (w *EventWriter) RTT() time.Duration {
+	w.statMu.Lock()
+	defer w.statMu.Unlock()
+	return w.rtt
+}
+
+// Flush waits until every previously written event is acknowledged. A
+// segment seal during the flush re-routes events to successor segments, so
+// the flush loops until a full pass over all segment writers finds nothing
+// open, in flight, parked or awaiting re-route.
+func (w *EventWriter) Flush() error {
+	for {
+		w.mu.Lock()
+		sws := make([]*segmentWriter, 0, len(w.writers))
+		for _, sw := range w.writers {
+			sws = append(sws, sw)
+		}
+		w.mu.Unlock()
+
+		busy := false
+		for _, sw := range sws {
+			sw.mu.Lock()
+			sw.trySendLocked()
+			for sw.inflight > 0 {
+				sw.flushCond.Wait()
+			}
+			if len(sw.batch) > 0 || len(sw.held) > 0 || len(sw.redirect) > 0 {
+				busy = true
+			}
+			sw.mu.Unlock()
+		}
+		if !busy {
+			// Confirm no new segment writers appeared (seal resolution
+			// re-routes events into fresh writers).
+			w.mu.Lock()
+			stable := len(w.writers) == len(sws)
+			if stable {
+				for _, sw := range sws {
+					if w.writers[sw.seg.ID.Number] != sw {
+						stable = false
+						break
+					}
+				}
+			}
+			w.mu.Unlock()
+			if stable {
+				return nil
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close flushes and releases the writer.
+func (w *EventWriter) Close() error {
+	err := w.Flush()
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	return err
+}
+
+// BytesAcked reports durably acknowledged payload bytes (benchmarks).
+func (w *EventWriter) BytesAcked() int64 { return w.bytesAcked.Load() }
+
+// segmentWriter batches and pipelines appends to one segment.
+type segmentWriter struct {
+	w   *EventWriter
+	seg controller.SegmentWithRange
+
+	mu        sync.Mutex
+	batch     []pendingEvent
+	batchSize int
+	inflight  int
+	sealed    bool
+	held      []pendingEvent // events parked while a seal resolves
+	redirect  []pendingEvent // failed in-flight events awaiting re-route
+	flushCond *sync.Cond
+}
+
+func newSegmentWriter(w *EventWriter, seg controller.SegmentWithRange) *segmentWriter {
+	sw := &segmentWriter{w: w, seg: seg}
+	sw.flushCond = sync.NewCond(&sw.mu)
+	return sw
+}
+
+// add appends an event to the open batch and ships it as soon as an
+// in-flight slot is free — the self-clocking dynamic batching of §4.1.
+func (sw *segmentWriter) add(pe pendingEvent) {
+	sw.mu.Lock()
+	if sw.sealed {
+		// A seal is resolving; park the event to preserve per-key order
+		// across the re-route (§3.2).
+		sw.held = append(sw.held, pe)
+		sw.mu.Unlock()
+		return
+	}
+	sw.batch = append(sw.batch, pe)
+	sw.batchSize += eventFrameSize(pe.data)
+	sw.trySendLocked()
+	sw.mu.Unlock()
+}
+
+// trySendLocked ships the open batch when a pipeline slot is available.
+// Oversized batches ship on extra slots rather than stalling. Caller holds
+// sw.mu.
+func (sw *segmentWriter) trySendLocked() {
+	if sw.sealed || len(sw.batch) == 0 {
+		return
+	}
+	limit := sw.w.cfg.MaxInFlight
+	if sw.batchSize >= sw.w.cfg.MaxBatchSize {
+		limit *= 4 // burst relief at the batch-size bound
+	}
+	if sw.inflight >= limit {
+		return
+	}
+	events := sw.batch
+	sw.batch = nil
+	sw.batchSize = 0
+	sw.inflight++
+	sw.sendBatch(events)
+}
+
+// sendBatch serializes and ships one batch (caller holds sw.mu).
+func (sw *segmentWriter) sendBatch(events []pendingEvent) {
+	buf := make([]byte, 0, 4096)
+	var payload int64
+	for _, pe := range events {
+		buf = appendEventFrame(buf, pe.data)
+		payload += int64(len(pe.data))
+	}
+	lastNum := events[len(events)-1].seq
+	start := time.Now()
+	sw.w.conn.AppendAsync(sw.seg.ID.QualifiedName(), buf, sw.w.cfg.ID, lastNum, int32(len(events)), func(r segstore.AppendResult) {
+		sw.w.observeRTT(time.Since(start))
+		sw.onBatchResult(events, payload, r)
+	})
+}
+
+// onBatchResult handles one batch acknowledgement.
+func (sw *segmentWriter) onBatchResult(events []pendingEvent, payload int64, r segstore.AppendResult) {
+	switch {
+	case r.Err == nil:
+		sw.w.bytesAcked.Add(payload)
+		for _, pe := range events {
+			pe.future.complete(nil)
+		}
+		sw.mu.Lock()
+		sw.inflight--
+		sw.trySendLocked()
+		// A sealed rejection completes at validation time and can overtake
+		// an earlier batch's success ack (which waits for the WAL write).
+		// If this success is the last in-flight ack of a sealed segment,
+		// seal resolution falls to us.
+		resolved := sw.sealed && sw.inflight == 0
+		sw.flushCond.Broadcast()
+		sw.mu.Unlock()
+		if resolved {
+			sw.resolveSeal()
+		}
+	case errors.Is(r.Err, segstore.ErrSegmentSealed):
+		sw.mu.Lock()
+		sw.sealed = true
+		sw.redirect = append(sw.redirect, events...)
+		sw.inflight--
+		resolved := sw.inflight == 0
+		sw.mu.Unlock()
+		if resolved {
+			sw.resolveSeal()
+		}
+	default:
+		for _, pe := range events {
+			pe.future.complete(r.Err)
+		}
+		sw.mu.Lock()
+		sw.inflight--
+		resolved := sw.sealed && sw.inflight == 0
+		sw.flushCond.Broadcast()
+		sw.mu.Unlock()
+		if resolved {
+			sw.resolveSeal()
+		}
+	}
+}
+
+// resolveSeal runs once all in-flight batches of a sealed segment have
+// resolved: it fetches the successors (which, per the controller-writer
+// protocol of Fig. 2b, were created before the segment was sealed),
+// refreshes the route table, and re-routes the failed and parked events in
+// their original order.
+func (sw *segmentWriter) resolveSeal() {
+	w := sw.w
+	// Fetch the successors. Per the controller-writer protocol (Fig. 2b)
+	// they are created before the segment is sealed but published to
+	// metadata only after sealing completes, so poll across that window. A
+	// sealed segment that never gains successors means the whole stream was
+	// sealed: pending events can never be appended.
+	for {
+		succs, err := w.sys.ctrl.GetSuccessors(w.cfg.Scope, w.cfg.Stream, sw.seg.ID.Number)
+		if err != nil {
+			sw.failPending(err)
+			return
+		}
+		if len(succs) > 0 {
+			break
+		}
+		sealed, err := w.sys.ctrl.IsStreamSealed(w.cfg.Scope, w.cfg.Stream)
+		if err != nil {
+			sw.failPending(err)
+			return
+		}
+		if sealed {
+			sw.failPending(fmt.Errorf("pravega: stream %s/%s is sealed", w.cfg.Scope, w.cfg.Stream))
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	segs, err := w.sys.ctrl.GetActiveSegments(w.cfg.Scope, w.cfg.Stream)
+	if err != nil {
+		sw.failPending(err)
+		return
+	}
+	w.mu.Lock()
+	w.route.segments = segs
+	delete(w.writers, sw.seg.ID.Number)
+	sw.mu.Lock()
+	pending := append(sw.redirect, sw.batch...)
+	pending = append(pending, sw.held...)
+	sw.redirect, sw.batch, sw.held = nil, nil, nil
+	sw.batchSize = 0
+	sw.flushCond.Broadcast()
+	sw.mu.Unlock()
+	for _, pe := range pending {
+		w.enqueueLocked(pe)
+	}
+	w.mu.Unlock()
+}
+
+func (sw *segmentWriter) failPending(err error) {
+	sw.mu.Lock()
+	pending := append(sw.redirect, sw.batch...)
+	pending = append(pending, sw.held...)
+	sw.redirect, sw.batch, sw.held = nil, nil, nil
+	sw.flushCond.Broadcast()
+	sw.mu.Unlock()
+	for _, pe := range pending {
+		pe.future.complete(err)
+	}
+}
