@@ -125,7 +125,9 @@ func (b *Bookie) IsDown() bool {
 // AddEntry asynchronously stores an entry; cb fires when the entry is
 // durable (or immediately on rejection). Entry ids within a ledger must be
 // written by a single writer (BookKeeper's contract); re-adding an existing
-// id is idempotent.
+// id is idempotent. The bookie takes ownership of data: the caller must not
+// mutate it afterwards (the ledger layer hands every replica the same
+// immutable copy, made once at the append boundary).
 func (b *Bookie) AddEntry(ledgerID, entryID int64, data []byte, cb func(error)) {
 	b.mu.Lock()
 	if b.down {
@@ -147,7 +149,7 @@ func (b *Bookie) AddEntry(ledgerID, entryID int64, data []byte, cb func(error)) 
 
 	req := &addReq{ledgerID: ledgerID, entryID: entryID, size: len(data), cb: cb}
 	if !b.cfg.DiscardData {
-		req.data = append([]byte(nil), data...)
+		req.data = data
 	}
 	select {
 	case b.addCh <- req:

@@ -221,7 +221,9 @@ func (h *LedgerHandle) Err() error {
 
 // AppendAsync writes data as the next entry, invoking cb(entryID, err) when
 // ackQuorum bookies confirm. Calls are pipelined: many appends may be in
-// flight; acknowledgements complete in order per bookie.
+// flight; acknowledgements complete in order per bookie. The ledger takes
+// ownership of data (it is referenced by in-flight replica sends and by the
+// bookies' stores): callers that reuse buffers must copy before calling.
 func (h *LedgerHandle) AppendAsync(data []byte, cb func(int64, error)) {
 	h.mu.Lock()
 	if h.closed || h.err != nil {

@@ -82,11 +82,12 @@ func (c *Conn) AppendAsync(segment string, data []byte, writerID string, eventNu
 	req, resp := c.links(st.ID())
 	size := len(data) + 64
 	req.Send(size, func() {
-		ch := cont.AppendAsync(segment, data, writerID, eventNum, eventCount)
-		go func() {
-			r := <-ch
+		// Callback delivery: the container's applier invokes this directly
+		// and resp.Send only schedules a timer, so no forwarding goroutine
+		// or channel is needed per append.
+		cont.AppendAsyncFunc(segment, data, writerID, eventNum, eventCount, func(r segstore.AppendResult) {
 			resp.Send(64, func() { cb(r) })
-		}()
+		})
 	})
 }
 

@@ -1,0 +1,124 @@
+package segstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchOps builds a representative 64-operation frame of small appends —
+// the shape §4.1's dynamic batching produces under a high-rate small-event
+// workload.
+func benchOps() []*Operation {
+	ops := make([]*Operation, 64)
+	for i := range ops {
+		ops[i] = &Operation{
+			Type:       OpAppend,
+			Segment:    "scope/stream/7.#epoch.0",
+			Offset:     int64(i * 100),
+			Data:       make([]byte, 100),
+			WriterID:   "writer-000",
+			EventNum:   int64(i + 1),
+			EventCount: 1,
+			CondOffset: -1,
+		}
+	}
+	return ops
+}
+
+// BenchmarkMarshalFrame measures the frame-marshal step of the append hot
+// loop: serializing one 64-op data frame for the WAL, including buffer
+// acquisition and release as the pipeline performs them.
+func BenchmarkMarshalFrame(b *testing.B) {
+	ops := benchOps()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := marshalFrameForWAL(ops)
+		releaseFrameBuf(buf)
+	}
+}
+
+// BenchmarkUnmarshalFrame measures recovery-replay decode of one frame.
+func BenchmarkUnmarshalFrame(b *testing.B) {
+	data := MarshalFrame(benchOps())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var scratch []Operation
+	for i := 0; i < b.N; i++ {
+		var err error
+		scratch, err = appendFrameOps(scratch[:0], data, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendPipeline drives the full container append path (operation
+// queue → frame builder → WAL → in-order applier → completion) with 100 B
+// events and a bounded pipelining window, the paper's small-event hot path
+// (§4.1, §5.2). allocs/op covers the whole pipeline: it is the headline
+// number for the zero-allocation work.
+func BenchmarkAppendPipeline(b *testing.B) {
+	env := newTestEnv(b)
+	c := newTestContainer(b, env, 0)
+	const seg = "bench/stream/0.#epoch.0"
+	if err := c.CreateSegment(seg); err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 100)
+	const window = 256
+	results := make([]<-chan AppendResult, 0, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results = append(results, c.AppendAsync(seg, data, "", 0, 1))
+		if len(results) == window {
+			for _, ch := range results {
+				if r := <-ch; r.Err != nil {
+					b.Fatal(r.Err)
+				}
+			}
+			results = results[:0]
+		}
+	}
+	for _, ch := range results {
+		if r := <-ch; r.Err != nil {
+			b.Fatal(r.Err)
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(100)
+}
+
+// BenchmarkAppendPipelineParallel is the contended variant: many writer
+// goroutines appending to distinct segments of one container.
+func BenchmarkAppendPipelineParallel(b *testing.B) {
+	env := newTestEnv(b)
+	c := newTestContainer(b, env, 0)
+	var segID int32
+	data := make([]byte, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		seg := fmt.Sprintf("bench/par/%d.#epoch.0", atomicAddInt32(&segID, 1))
+		if err := c.CreateSegment(seg); err != nil {
+			b.Fatal(err)
+		}
+		const window = 64
+		pending := make([]<-chan AppendResult, 0, window)
+		for pb.Next() {
+			pending = append(pending, c.AppendAsync(seg, data, "", 0, 1))
+			if len(pending) == window {
+				for _, ch := range pending {
+					if r := <-ch; r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+				pending = pending[:0]
+			}
+		}
+		for _, ch := range pending {
+			<-ch
+		}
+	})
+}

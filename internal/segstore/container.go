@@ -91,11 +91,14 @@ type Container struct {
 	stop    chan struct{}
 	wg      sync.WaitGroup
 
-	// Frame completion reordering.
-	frameMu       sync.Mutex
-	nextFrameSeq  int64
-	nextApplySeq  int64
-	pendingFrames map[int64]*frameResult
+	// Frame completion: WAL callbacks enqueue acknowledged frames here and
+	// kick the single applier goroutine, which reorders by frame sequence
+	// and applies in order. framesSubmitted is written only by the frame
+	// builder; the applier reads it to know when a shutdown drain is done.
+	framesSubmitted atomic.Int64
+	applyMu         sync.Mutex
+	applyQ          []*frameResult
+	applyKick       chan struct{}
 
 	// Adaptive batching statistics (EWMA).
 	statMu        sync.Mutex
@@ -117,16 +120,6 @@ type Container struct {
 	checkpointsTaken metrics.Counter
 }
 
-type pendingOp struct {
-	op   Operation
-	done chan opResult
-}
-
-type opResult struct {
-	offset int64
-	err    error
-}
-
 // NewContainer opens the container, performing recovery: it takes over the
 // container's WAL (fencing any previous instance), restores the last
 // metadata checkpoint and replays the tail of the log (§4.4).
@@ -138,7 +131,7 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 		segments:      make(map[string]*segState),
 		opQueue:       make(chan *pendingOp, cfg.OpQueueLen),
 		stop:          make(chan struct{}),
-		pendingFrames: make(map[int64]*frameResult),
+		applyKick:     make(chan struct{}, 1),
 		flushKick:     make(chan struct{}, 1),
 		recentLatency: 2 * time.Millisecond,
 	}
@@ -161,8 +154,9 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 		return nil, fmt.Errorf("segstore: recovering container %d: %w", cfg.ID, err)
 	}
 
-	c.wg.Add(3)
+	c.wg.Add(4)
 	go c.frameBuilderLoop()
+	go c.applierLoop()
 	go c.storageWriterLoop()
 	go c.checkpointLoop()
 	return c, nil
@@ -191,11 +185,13 @@ func (c *Container) recover() error {
 	if err != nil {
 		return err
 	}
-	// Locate the last checkpoint.
+	// Locate the last checkpoint. Frames are decoded in alias mode: the
+	// operations' data fields point into the freshly read WAL entries, so
+	// replay installs them without a per-operation copy.
 	lastCP := -1
 	var decoded [][]Operation
 	for i, e := range entries {
-		ops, err := UnmarshalFrame(e.Data)
+		ops, err := appendFrameOps(nil, e.Data, true)
 		if err != nil {
 			return fmt.Errorf("frame at %v: %w", e.Addr, err)
 		}
@@ -285,6 +281,10 @@ func (c *Container) applyRecovered(op *Operation, addr wal.Address) {
 			op.Offset = s.length
 		}
 		c.applyAppendLocked(s, op, addr)
+		c.flushMu.Lock()
+		c.unflushedBytes += int64(len(op.Data))
+		c.flushMu.Unlock()
+		c.kickFlush()
 	case OpSeal:
 		if s, ok := c.segments[op.Segment]; ok {
 			s.sealed = true
@@ -311,7 +311,9 @@ func (c *Container) applyWriterAttrLocked(s *segState, op *Operation) {
 }
 
 // applyAppendLocked installs acked append data into the read index, cache,
-// attributes and flush queue, then wakes tail readers.
+// attributes and flush queue, then wakes tail readers. The caller owns the
+// unflushedBytes backlog accounting and the flush kick: the applier batches
+// both per frame instead of per operation.
 func (c *Container) applyAppendLocked(s *segState, op *Operation, addr wal.Address) {
 	dataLen := int64(len(op.Data))
 	if tail, ok := s.index.TailEntry(); ok && tail.Where == readindex.InCache && tail.End() == op.Offset {
@@ -331,10 +333,6 @@ func (c *Container) applyAppendLocked(s *segState, op *Operation, addr wal.Addre
 
 	// Queue for tiering.
 	s.unflushed = append(s.unflushed, flushItem{addr: addr, offset: op.Offset, data: op.Data})
-	c.flushMu.Lock()
-	c.unflushedBytes += dataLen
-	c.flushMu.Unlock()
-	c.kickFlush()
 
 	for _, w := range s.waiters {
 		close(w)

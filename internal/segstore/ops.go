@@ -90,8 +90,20 @@ func (op *Operation) Marshal(dst []byte) []byte {
 	return dst
 }
 
-// UnmarshalOperation decodes one operation, returning the remainder.
+// UnmarshalOperation decodes one operation, returning the remainder. The
+// returned operation owns its data (copied out of src).
 func UnmarshalOperation(src []byte) (Operation, []byte, error) {
+	return unmarshalOperation(src, false, nil)
+}
+
+// unmarshalOperation decodes one operation. With alias=true the decoded
+// Data/Checkpoint fields alias src — valid only while src is immutable and
+// outlives the operation, as during recovery replay where src is a freshly
+// read WAL entry. prev, when non-nil, is the previously decoded operation
+// of the same frame: its Segment/WriterID strings are reused when the bytes
+// match, which collapses the per-op string allocations of a frame that
+// multiplexes few segments and writers (the common case).
+func unmarshalOperation(src []byte, alias bool, prev *Operation) (Operation, []byte, error) {
 	if len(src) < 1 {
 		return Operation{}, nil, errors.New("segstore: empty operation")
 	}
@@ -104,7 +116,12 @@ func UnmarshalOperation(src []byte) (Operation, []byte, error) {
 	if len(nameB) > maxSegmentNameLen {
 		return Operation{}, nil, fmt.Errorf("segstore: segment name too long (%d)", len(nameB))
 	}
-	op.Segment = string(nameB)
+	// string(b) == s compares without allocating.
+	if prev != nil && string(nameB) == prev.Segment {
+		op.Segment = prev.Segment
+	} else {
+		op.Segment = string(nameB)
+	}
 	switch op.Type {
 	case OpAppend:
 		var sz int
@@ -117,7 +134,11 @@ func UnmarshalOperation(src []byte) (Operation, []byte, error) {
 		if err != nil {
 			return Operation{}, nil, err
 		}
-		op.WriterID = string(wid)
+		if prev != nil && string(wid) == prev.WriterID {
+			op.WriterID = prev.WriterID
+		} else {
+			op.WriterID = string(wid)
+		}
 		src = rest
 		op.EventNum, sz = binary.Varint(src)
 		if sz <= 0 {
@@ -134,7 +155,11 @@ func UnmarshalOperation(src []byte) (Operation, []byte, error) {
 		if err != nil {
 			return Operation{}, nil, err
 		}
-		op.Data = append([]byte(nil), data...)
+		if alias {
+			op.Data = data
+		} else {
+			op.Data = append([]byte(nil), data...)
+		}
 		src = rest2
 	case OpTruncate:
 		var sz int
@@ -148,7 +173,11 @@ func UnmarshalOperation(src []byte) (Operation, []byte, error) {
 		if err != nil {
 			return Operation{}, nil, err
 		}
-		op.Checkpoint = append([]byte(nil), cp...)
+		if alias {
+			op.Checkpoint = cp
+		} else {
+			op.Checkpoint = append([]byte(nil), cp...)
+		}
 		src = rest
 	case OpCreate, OpSeal, OpDelete:
 		// Name only.
@@ -160,11 +189,21 @@ func UnmarshalOperation(src []byte) (Operation, []byte, error) {
 
 // MarshalFrame packs operations into one data frame.
 func MarshalFrame(ops []*Operation) []byte {
+	return appendFrame(nil, ops)
+}
+
+// appendFrame serializes a frame into buf (grown as needed), enabling the
+// pipeline to reuse pooled marshal buffers across frames.
+func appendFrame(buf []byte, ops []*Operation) []byte {
 	var size int
 	for _, op := range ops {
 		size += 64 + len(op.Data) + len(op.Segment) + len(op.Checkpoint)
 	}
-	buf := make([]byte, 0, size)
+	if cap(buf)-len(buf) < size {
+		grown := make([]byte, len(buf), len(buf)+size)
+		copy(grown, buf)
+		buf = grown
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(ops)))
 	for _, op := range ops {
 		buf = op.Marshal(buf)
@@ -172,24 +211,43 @@ func MarshalFrame(ops []*Operation) []byte {
 	return buf
 }
 
-// UnmarshalFrame decodes a data frame back into operations.
+// UnmarshalFrame decodes a data frame back into operations. The operations
+// own their data (copied out of the frame).
 func UnmarshalFrame(data []byte) ([]Operation, error) {
+	return appendFrameOps(nil, data, false)
+}
+
+// appendFrameOps decodes a frame's operations into dst, reusing its backing
+// array; recovery replay passes a recycled scratch slice. With alias=true
+// the decoded Data/Checkpoint fields alias the frame buffer (see
+// unmarshalOperation). The declared operation count is validated against
+// the frame length before any allocation, so a corrupt header cannot force
+// an oversized slice.
+func appendFrameOps(dst []Operation, data []byte, alias bool) ([]Operation, error) {
 	n, sz := binary.Uvarint(data)
 	if sz <= 0 {
 		return nil, errors.New("segstore: bad frame header")
 	}
 	data = data[sz:]
-	ops := make([]Operation, 0, n)
+	// Every serialized operation takes at least 2 bytes (type + name len).
+	if n > uint64(len(data))/2 {
+		return nil, fmt.Errorf("segstore: frame op count %d exceeds frame size %d", n, len(data))
+	}
+	if dst == nil {
+		dst = make([]Operation, 0, n)
+	}
+	var prev *Operation
 	for i := uint64(0); i < n; i++ {
-		op, rest, err := UnmarshalOperation(data)
+		op, rest, err := unmarshalOperation(data, alias, prev)
 		if err != nil {
 			return nil, fmt.Errorf("segstore: frame op %d: %w", i, err)
 		}
-		ops = append(ops, op)
+		dst = append(dst, op)
+		prev = &dst[len(dst)-1]
 		data = rest
 	}
 	if len(data) != 0 {
 		return nil, fmt.Errorf("segstore: %d trailing frame bytes", len(data))
 	}
-	return ops, nil
+	return dst, nil
 }

@@ -2,20 +2,71 @@ package segstore
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/pravega-go/pravega/internal/segment"
 	"github.com/pravega-go/pravega/internal/wal"
 )
 
-// frameResult carries one WAL-acknowledged frame through the in-order
-// completion stage.
+// frameResult is one data frame moving through the append pipeline: the
+// frame builder fills ops/done, the WAL callback stamps addr/err, and the
+// in-order applier installs it into container state. The struct and its two
+// slices are pooled — one frame object serves many frames over its life.
 type frameResult struct {
-	seq  int64
-	addr wal.Address
-	err  error
-	ops  []*Operation
-	done []*pendingOp
+	seq   int64
+	addr  wal.Address
+	err   error
+	ops   []*Operation
+	done  []*pendingOp
+	bytes int
+	start time.Time
+}
+
+var framePool = sync.Pool{New: func() any {
+	return &frameResult{ops: make([]*Operation, 0, 64), done: make([]*pendingOp, 0, 64)}
+}}
+
+func getFrame() *frameResult { return framePool.Get().(*frameResult) }
+
+func putFrame(f *frameResult) {
+	for i := range f.ops {
+		f.ops[i] = nil
+	}
+	for i := range f.done {
+		f.done[i] = nil
+	}
+	f.ops, f.done = f.ops[:0], f.done[:0]
+	f.seq, f.addr, f.err, f.bytes, f.start = 0, wal.Address{}, nil, 0, time.Time{}
+	framePool.Put(f)
+}
+
+// pendingOp is one queued operation awaiting durable completion. Completion
+// is delivered exactly once, either on res (a caller-owned, one-slot
+// buffered channel) or via cb. The struct is pooled: after complete() the
+// caller must not retain it (the res channel is safe to keep — it is
+// allocated per operation and never reused).
+type pendingOp struct {
+	op     Operation
+	result AppendResult
+	res    chan AppendResult  // nil when cb is set
+	cb     func(AppendResult) // nil when res is set
+}
+
+var pendingOpPool = sync.Pool{New: func() any { return new(pendingOp) }}
+
+// complete delivers the result and recycles the pendingOp. The send never
+// blocks (res has capacity 1 and receives exactly one value); cb runs on
+// the completing goroutine and must not block.
+func (p *pendingOp) complete(r AppendResult) {
+	res, cb := p.res, p.cb
+	*p = pendingOp{}
+	pendingOpPool.Put(p)
+	if cb != nil {
+		cb(r)
+		return
+	}
+	res <- r
 }
 
 // submit queues an operation and waits for its durable completion.
@@ -23,15 +74,20 @@ func (c *Container) submit(op Operation) (int64, error) {
 	if down, err := c.isDown(); down {
 		return 0, err
 	}
-	p := &pendingOp{op: op, done: make(chan opResult, 1)}
+	p := pendingOpPool.Get().(*pendingOp)
+	res := make(chan AppendResult, 1)
+	p.op, p.res = op, res
 	select {
 	case c.opQueue <- p:
 	case <-c.stop:
+		p.complete(AppendResult{Err: ErrContainerDown})
 		return 0, ErrContainerDown
 	}
+	// p may be recycled the moment the result is delivered: only res is
+	// safe to touch from here on.
 	select {
-	case r := <-p.done:
-		return r.offset, r.err
+	case r := <-res:
+		return r.Offset, r.Err
 	case <-c.stop:
 		return 0, ErrContainerDown
 	}
@@ -49,8 +105,16 @@ func (c *Container) CreateSegment(name string) error {
 // event number are acknowledged without being applied (duplicate from a
 // writer retry).
 func (c *Container) Append(name string, data []byte, writerID string, eventNum int64, eventCount int32) (int64, error) {
-	r := <-c.AppendAsync(name, data, writerID, eventNum, eventCount)
-	return r.Offset, r.Err
+	c.throttle()
+	return c.submit(Operation{
+		Type:       OpAppend,
+		Segment:    name,
+		Data:       data,
+		WriterID:   writerID,
+		EventNum:   eventNum,
+		EventCount: eventCount,
+		CondOffset: -1,
+	})
 }
 
 // AppendResult is the outcome of an asynchronous append.
@@ -65,7 +129,8 @@ type AppendResult struct {
 // goroutine are sequenced (and therefore applied) in call order, which the
 // event writer relies on for per-key ordering (§3.2).
 func (c *Container) AppendAsync(name string, data []byte, writerID string, eventNum int64, eventCount int32) <-chan AppendResult {
-	return c.appendAsync(Operation{
+	out := make(chan AppendResult, 1)
+	c.enqueueAppend(Operation{
 		Type:       OpAppend,
 		Segment:    name,
 		Data:       data,
@@ -73,45 +138,65 @@ func (c *Container) AppendAsync(name string, data []byte, writerID string, event
 		EventNum:   eventNum,
 		EventCount: eventCount,
 		CondOffset: -1,
-	})
+	}, out, nil)
+	return out
+}
+
+// AppendAsyncFunc is AppendAsync with callback delivery: cb fires exactly
+// once, when the append is durable (or has failed). It avoids the per-op
+// channel allocation entirely. cb runs on a container-internal goroutine —
+// typically the in-order applier — and therefore must not block; a slow cb
+// stalls the whole container's completion path.
+func (c *Container) AppendAsyncFunc(name string, data []byte, writerID string, eventNum int64, eventCount int32, cb func(AppendResult)) {
+	c.enqueueAppend(Operation{
+		Type:       OpAppend,
+		Segment:    name,
+		Data:       data,
+		WriterID:   writerID,
+		EventNum:   eventNum,
+		EventCount: eventCount,
+		CondOffset: -1,
+	}, nil, cb)
 }
 
 // AppendConditional appends only if the segment's length equals
 // expectedOffset, providing the optimistic-concurrency primitive the state
 // synchronizer builds on (§3.3).
 func (c *Container) AppendConditional(name string, data []byte, expectedOffset int64) (int64, error) {
-	r := <-c.appendAsync(Operation{
+	c.throttle()
+	return c.submit(Operation{
 		Type:       OpAppend,
 		Segment:    name,
 		Data:       data,
 		CondOffset: expectedOffset,
 	})
-	return r.Offset, r.Err
 }
 
-func (c *Container) appendAsync(op Operation) <-chan AppendResult {
-	out := make(chan AppendResult, 1)
+// enqueueAppend throttles against the tiering backlog and queues the
+// operation. The completion — delivered on res or via cb — is routed
+// directly from the in-order applier: there is no per-append goroutine
+// anywhere on this path.
+func (c *Container) enqueueAppend(op Operation, res chan AppendResult, cb func(AppendResult)) {
 	c.throttle()
 	if down, err := c.isDown(); down {
-		out <- AppendResult{Err: err}
-		return out
+		deliver(res, cb, AppendResult{Err: err})
+		return
 	}
-	p := &pendingOp{op: op, done: make(chan opResult, 1)}
+	p := pendingOpPool.Get().(*pendingOp)
+	p.op, p.res, p.cb = op, res, cb
 	select {
 	case c.opQueue <- p:
 	case <-c.stop:
-		out <- AppendResult{Err: ErrContainerDown}
-		return out
+		p.complete(AppendResult{Err: ErrContainerDown})
 	}
-	go func() {
-		select {
-		case r := <-p.done:
-			out <- AppendResult{Offset: r.offset, Err: r.err}
-		case <-c.stop:
-			out <- AppendResult{Err: ErrContainerDown}
-		}
-	}()
-	return out
+}
+
+func deliver(res chan AppendResult, cb func(AppendResult), r AppendResult) {
+	if cb != nil {
+		cb(r)
+		return
+	}
+	res <- r
 }
 
 // Seal makes the segment read-only, returning its final length.
@@ -163,30 +248,27 @@ func (c *Container) frameBuilderLoop() {
 			return
 		}
 
-		frameOps := make([]*Operation, 0, 64)
-		framePending := make([]*pendingOp, 0, 64)
-		frameBytes := 0
-
+		fr := getFrame()
 		admit := func(p *pendingOp) {
 			if err := c.validateAndSequence(&p.op); err != nil {
 				if err == errDuplicateAppend {
 					// Writer retry of an already-applied append: acknowledge
 					// as success without re-writing (§3.2). Offset -1 tells
 					// the caller the data was deduplicated.
-					p.done <- opResult{offset: -1}
+					p.complete(AppendResult{Offset: -1})
 				} else {
-					p.done <- opResult{err: err}
+					p.complete(AppendResult{Err: err})
 				}
 				return
 			}
-			frameOps = append(frameOps, &p.op)
-			framePending = append(framePending, p)
-			frameBytes += len(p.op.Data) + len(p.op.Segment) + len(p.op.Checkpoint) + 32
+			fr.bytes += len(p.op.Data) + len(p.op.Segment) + len(p.op.Checkpoint) + 32
+			fr.ops = append(fr.ops, &p.op)
+			fr.done = append(fr.done, p)
 		}
 		admit(first)
 
 	fill:
-		for frameBytes < c.cfg.MaxFrameSize {
+		for fr.bytes < c.cfg.MaxFrameSize {
 			select {
 			case p := <-c.opQueue:
 				admit(p)
@@ -210,10 +292,11 @@ func (c *Container) frameBuilderLoop() {
 			}
 		}
 
-		if len(frameOps) == 0 {
+		if len(fr.ops) == 0 {
+			putFrame(fr)
 			continue
 		}
-		c.submitFrame(frameOps, framePending, frameBytes)
+		c.submitFrame(fr)
 	}
 }
 
@@ -221,7 +304,7 @@ func (c *Container) drainQueue() {
 	for {
 		select {
 		case p := <-c.opQueue:
-			p.done <- opResult{err: ErrContainerDown}
+			p.complete(AppendResult{Err: ErrContainerDown})
 		default:
 			return
 		}
@@ -311,21 +394,23 @@ func (c *Container) validateAndSequence(op *Operation) error {
 // already reflected in segment state; acknowledge without applying.
 var errDuplicateAppend = fmt.Errorf("segstore: duplicate append")
 
-// submitFrame writes one data frame to the WAL and routes its completion
-// through the in-order applier.
-func (c *Container) submitFrame(ops []*Operation, pend []*pendingOp, frameBytes int) {
-	c.frameMu.Lock()
-	seq := c.nextFrameSeq
-	c.nextFrameSeq++
-	c.frameMu.Unlock()
+// submitFrame writes one data frame to the WAL. The marshal buffer comes
+// from a pool and goes straight back: wal.Log.AppendAsync serializes the
+// entry before returning, so the buffer is free the moment it does. Only
+// the frame builder calls this, so the sequence counter needs no lock; the
+// applier reads it atomically to know when it has drained everything.
+func (c *Container) submitFrame(fr *frameResult) {
+	fr.seq = c.framesSubmitted.Load()
+	c.framesSubmitted.Store(fr.seq + 1)
 
-	data := MarshalFrame(ops)
-	start := time.Now()
+	data := marshalFrameForWAL(fr.ops)
+	fr.start = time.Now()
 	c.log.AppendAsync(data, func(addr wal.Address, err error) {
-		lat := time.Since(start)
-		c.updateBatchStats(lat, frameBytes)
-		c.completeFrame(&frameResult{seq: seq, addr: addr, err: err, ops: ops, done: pend})
+		c.updateBatchStats(time.Since(fr.start), fr.bytes)
+		fr.addr, fr.err = addr, err
+		c.enqueueCompleted(fr)
 	})
+	releaseFrameBuf(data)
 }
 
 // updateBatchStats maintains the EWMA latency and write-size statistics
@@ -338,46 +423,85 @@ func (c *Container) updateBatchStats(lat time.Duration, size int) {
 	c.statMu.Unlock()
 }
 
-// completeFrame releases frames in sequence order: WAL acknowledgements can
-// arrive out of order across ledger rollovers, but state must be applied in
-// the order operations were sequenced.
-func (c *Container) completeFrame(fr *frameResult) {
-	c.frameMu.Lock()
-	c.pendingFrames[fr.seq] = fr
-	var ready []*frameResult
-	for {
-		next, ok := c.pendingFrames[c.nextApplySeq]
-		if !ok {
-			break
-		}
-		delete(c.pendingFrames, c.nextApplySeq)
-		c.nextApplySeq++
-		ready = append(ready, next)
+// enqueueCompleted hands a WAL-acknowledged frame to the applier. It is the
+// entire WAL-callback footprint of the completion path: append under a
+// short lock, then a non-blocking wake — the callback never applies state,
+// takes c.mu, or blocks, so BookKeeper ack goroutines are never held up.
+func (c *Container) enqueueCompleted(fr *frameResult) {
+	c.applyMu.Lock()
+	c.applyQ = append(c.applyQ, fr)
+	c.applyMu.Unlock()
+	select {
+	case c.applyKick <- struct{}{}:
+	default:
 	}
-	c.frameMu.Unlock()
+}
 
-	for _, f := range ready {
-		c.applyFrame(f)
+// applierLoop is the container's single in-order applier: it collects
+// WAL-acknowledged frames (which complete out of order across ledger
+// rollovers), reorders them by sequence, and applies each exactly once, in
+// order, on this one goroutine. Centralizing application here (rather than
+// running it on whichever WAL callback happened to arrive) removes lock
+// contention from the ack path and makes out-of-order application
+// structurally impossible. On shutdown the applier keeps draining until
+// every submitted frame has been applied, so no caller is left waiting.
+func (c *Container) applierLoop() {
+	defer c.wg.Done()
+	pending := make(map[int64]*frameResult)
+	var next int64
+	var batch []*frameResult
+	stopCh := c.stop
+	stopping := false
+	for {
+		if stopping && next >= c.framesSubmitted.Load() {
+			return
+		}
+		select {
+		case <-c.applyKick:
+		case <-stopCh:
+			// The frame builder has stopped (or is stopping); once it exits,
+			// framesSubmitted is frozen and the check above terminates the
+			// drain. Nil the channel so the select blocks on applyKick only.
+			stopping = true
+			stopCh = nil
+			continue
+		}
+		c.applyMu.Lock()
+		batch, c.applyQ = c.applyQ, batch[:0]
+		c.applyMu.Unlock()
+		for _, fr := range batch {
+			pending[fr.seq] = fr
+		}
+		for {
+			fr, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			c.applyFrame(fr)
+			putFrame(fr)
+		}
 	}
 }
 
 // applyFrame installs a durable frame into memory state and acknowledges
-// its operations.
+// its operations. It runs exclusively on the applier goroutine, takes c.mu
+// once for the whole frame, and accumulates counter and backlog updates
+// frame-wide instead of per operation.
 func (c *Container) applyFrame(f *frameResult) {
 	if f.err != nil {
 		// WAL failure is fatal for the container (§4.4).
 		c.failAll(fmt.Errorf("segstore: WAL append failed: %w", f.err))
 		for _, p := range f.done {
-			p.done <- opResult{err: f.err}
+			p.complete(AppendResult{Err: f.err})
 		}
 		return
 	}
-	c.framesWritten.Add(1)
+	var appendBytes int64
+	c.mu.Lock()
 	for i, op := range f.ops {
-		c.bytesWritten.Add(int64(len(op.Data)))
-		c.opsProcessed.Add(1)
-		res := opResult{}
-		c.mu.Lock()
+		p := f.done[i]
 		s := c.segments[op.Segment]
 		switch op.Type {
 		case OpCreate:
@@ -385,15 +509,16 @@ func (c *Container) applyFrame(f *frameResult) {
 				c.segments[op.Segment] = c.newSegState(op.Segment)
 			}
 		case OpAppend:
+			appendBytes += int64(len(op.Data))
 			if s != nil {
 				c.applyAppendLocked(s, op, f.addr)
-				res.offset = op.Offset
+				p.result.Offset = op.Offset
 			}
 		case OpSeal:
 			if s != nil {
 				s.sealed = true
 				s.pendingSeal = false
-				res.offset = s.length
+				p.result.Offset = s.length
 				for _, w := range s.waiters {
 					close(w)
 				}
@@ -419,8 +544,20 @@ func (c *Container) applyFrame(f *frameResult) {
 			c.flushMu.Unlock()
 			c.checkpointsTaken.Add(1)
 		}
-		c.mu.Unlock()
-		f.done[i].done <- res
+	}
+	c.mu.Unlock()
+
+	c.framesWritten.Add(1)
+	c.opsProcessed.Add(int64(len(f.ops)))
+	if appendBytes > 0 {
+		c.bytesWritten.Add(appendBytes)
+		c.flushMu.Lock()
+		c.unflushedBytes += appendBytes
+		c.flushMu.Unlock()
+		c.kickFlush()
+	}
+	for _, p := range f.done {
+		p.complete(p.result)
 	}
 }
 

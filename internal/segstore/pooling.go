@@ -1,0 +1,31 @@
+package segstore
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// frameBufPool recycles WAL frame marshal buffers. A buffer is taken per
+// frame in submitFrame and returned the moment wal.Log.AppendAsync comes
+// back: the WAL serializes the entry at its network boundary, so the hot
+// loop never allocates frame-sized buffers in steady state.
+var frameBufPool sync.Pool
+
+// marshalFrameForWAL is MarshalFrame against a pooled buffer. The result
+// must be handed back with releaseFrameBuf once the WAL has serialized it.
+func marshalFrameForWAL(ops []*Operation) []byte {
+	var buf []byte
+	if bp, ok := frameBufPool.Get().(*[]byte); ok {
+		buf = (*bp)[:0]
+	}
+	return appendFrame(buf, ops)
+}
+
+func releaseFrameBuf(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	frameBufPool.Put(&buf)
+}
+
+func atomicAddInt32(p *int32, d int32) int32 { return atomic.AddInt32(p, d) }

@@ -16,7 +16,7 @@ type testEnv struct {
 	bookies []*bookkeeper.Bookie
 }
 
-func newTestEnv(t *testing.T) *testEnv {
+func newTestEnv(t testing.TB) *testEnv {
 	t.Helper()
 	meta := cluster.NewStore()
 	bk, err := bookkeeper.NewClient(bookkeeper.ClientConfig{Meta: meta})
@@ -47,7 +47,7 @@ func (e *testEnv) containerConfig(id int) ContainerConfig {
 	}
 }
 
-func newTestContainer(t *testing.T, env *testEnv, id int) *Container {
+func newTestContainer(t testing.TB, env *testEnv, id int) *Container {
 	t.Helper()
 	c, err := NewContainer(env.containerConfig(id))
 	if err != nil {

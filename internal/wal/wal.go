@@ -192,6 +192,11 @@ func (l *Log) Epoch() int64 {
 // AppendAsync durably appends data, invoking cb with the entry's address
 // once replicated to the ack quorum. Appends are pipelined; callbacks may
 // fire out of submission order, but addresses respect submission order.
+//
+// The entry is serialized (copied) before AppendAsync returns: the caller
+// may immediately reuse data, which lets the segment store recycle frame
+// marshal buffers through a pool. The single copy made here is shared by
+// every replica and owned by the ledger from then on.
 func (l *Log) AppendAsync(data []byte, cb func(Address, error)) {
 	l.mu.Lock()
 	if l.closed || l.fenced {
@@ -216,7 +221,9 @@ func (l *Log) AppendAsync(data []byte, cb func(Address, error)) {
 	l.inflight.Add(1)
 	l.mu.Unlock()
 
-	h.AppendAsync(data, func(entry int64, err error) {
+	owned := make([]byte, len(data))
+	copy(owned, data)
+	h.AppendAsync(owned, func(entry int64, err error) {
 		defer l.inflight.Done()
 		if err != nil {
 			if errors.Is(err, bookkeeper.ErrFenced) {
@@ -288,11 +295,13 @@ func (l *Log) ReadAll() ([]Entry, error) {
 
 // Truncate releases all ledgers that lie entirely before upTo: their data
 // has reached long-term storage and is no longer needed for recovery
-// (§4.3). The ledger containing upTo is retained.
+// (§4.3). The ledger containing upTo is retained. Metadata is persisted
+// under the log lock, but the freed ledgers are deleted after releasing it:
+// ledger deletion can be slow and must not stall concurrent appends.
 func (l *Log) Truncate(upTo Address) error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.fenced {
+		l.mu.Unlock()
 		return ErrFenced
 	}
 	var freed []int64
@@ -301,9 +310,12 @@ func (l *Log) Truncate(upTo Address) error {
 		l.md.TruncateSeq++
 	}
 	if len(freed) == 0 {
+		l.mu.Unlock()
 		return nil
 	}
-	if err := l.writeMetadataLocked(); err != nil {
+	err := l.writeMetadataLocked()
+	l.mu.Unlock()
+	if err != nil {
 		return err
 	}
 	for _, lid := range freed {

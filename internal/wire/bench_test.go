@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/pravega-go/pravega/internal/controller"
+	"github.com/pravega-go/pravega/internal/hosting"
+	"github.com/pravega-go/pravega/pkg/pravega"
+)
+
+func newBenchServer(b *testing.B) *Conn {
+	b.Helper()
+	sys, err := pravega.NewInProcess(pravega.SystemConfig{
+		Cluster: hosting.ClusterConfig{Stores: 1, ContainersPerStore: 1, Bookies: 3},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	srv, err := NewServer(sys, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Close() })
+	conn, err := Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = conn.Close() })
+	if _, err := conn.Call(MsgCreateScope, StreamReq{Scope: "b"}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := conn.Call(MsgCreateStream, StreamReq{Scope: "b", Stream: "st", Segments: 1}); err != nil {
+		b.Fatal(err)
+	}
+	return conn
+}
+
+func benchSegment(b *testing.B, conn *Conn) string {
+	b.Helper()
+	rep, err := conn.Call(MsgActiveSegments, StreamReq{Scope: "b", Stream: "st"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var segs []controller.SegmentWithRange
+	if err := json.Unmarshal(rep.JSON, &segs); err != nil {
+		b.Fatal(err)
+	}
+	return segs[0].ID.QualifiedName()
+}
+
+// BenchmarkWireAppend measures the full client→TCP→server→container append
+// round trip with 100 B events, pipelined in a bounded window. allocs/op
+// spans both ends of the connection (in-process server), so it captures the
+// encode, frame, decode and reply costs of the append wire path.
+func BenchmarkWireAppend(b *testing.B) {
+	conn := newBenchServer(b)
+	seg := benchSegment(b, conn)
+	data := make([]byte, 100)
+	const window = 128
+	pending := make([]<-chan Reply, 0, window)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch, err := conn.CallAsync(MsgAppend, AppendReq{Segment: seg, Data: data, CondOffset: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pending = append(pending, ch)
+		if len(pending) == window {
+			for _, ch := range pending {
+				if rep := <-ch; rep.Err != "" {
+					b.Fatal(rep.Err)
+				}
+			}
+			pending = pending[:0]
+		}
+	}
+	for _, ch := range pending {
+		if rep := <-ch; rep.Err != "" {
+			b.Fatal(rep.Err)
+		}
+	}
+	b.StopTimer()
+	b.SetBytes(100)
+}
+
+// BenchmarkWireAppendCodec isolates the message codec: encode an append
+// request and decode it back, no sockets. It is the pure serialization cost
+// the binary framing work targets.
+func BenchmarkWireAppendCodec(b *testing.B) {
+	req := AppendReq{
+		Segment: "b/st/0.#epoch.0", Data: make([]byte, 100),
+		WriterID: "writer-0", EventNum: 7, EventCount: 1, CondOffset: -1,
+	}
+	var sink discardWriter
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := writeRequest(&sink, MsgAppend, 42, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// discardWriter swallows writes (codec benchmarks).
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

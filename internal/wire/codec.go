@@ -1,0 +1,242 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Binary codec for the append/read hot path (the same uvarint scheme the
+// segment store's WAL frames use). MsgAppend and MsgRead requests carry
+// binary bodies; their responses travel as MsgReplyBin. Every other message
+// type keeps a JSON body — the encoding is fixed per message type, so the
+// protocol stays self-describing.
+
+var errTruncatedBody = errors.New("wire: truncated body")
+
+func appendUvarintBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func consumeUvarintBytes(src []byte) ([]byte, []byte, error) {
+	n, sz := binary.Uvarint(src)
+	if sz <= 0 || n > uint64(len(src)-sz) {
+		return nil, nil, errTruncatedBody
+	}
+	return src[sz : sz+int(n)], src[sz+int(n):], nil
+}
+
+func consumeVarint(src []byte) (int64, []byte, error) {
+	v, sz := binary.Varint(src)
+	if sz <= 0 {
+		return 0, nil, errTruncatedBody
+	}
+	return v, src[sz:], nil
+}
+
+func (r *AppendReq) marshalBinary(dst []byte) []byte {
+	dst = appendUvarintBytes(dst, []byte(r.Segment))
+	dst = appendUvarintBytes(dst, []byte(r.WriterID))
+	dst = binary.AppendVarint(dst, r.EventNum)
+	dst = binary.AppendVarint(dst, int64(r.EventCount))
+	dst = binary.AppendVarint(dst, r.CondOffset)
+	dst = appendUvarintBytes(dst, r.Data)
+	return dst
+}
+
+// unmarshalAppendReq decodes a binary append request. Data is copied out of
+// src: the container retains append payloads (cache, tiering queue) long
+// after the connection's read scratch has been reused.
+func unmarshalAppendReq(src []byte) (AppendReq, error) {
+	var req AppendReq
+	seg, src, err := consumeUvarintBytes(src)
+	if err != nil {
+		return req, err
+	}
+	req.Segment = string(seg)
+	wid, src, err := consumeUvarintBytes(src)
+	if err != nil {
+		return req, err
+	}
+	req.WriterID = string(wid)
+	if req.EventNum, src, err = consumeVarint(src); err != nil {
+		return req, err
+	}
+	var cnt int64
+	if cnt, src, err = consumeVarint(src); err != nil {
+		return req, err
+	}
+	req.EventCount = int32(cnt)
+	if req.CondOffset, src, err = consumeVarint(src); err != nil {
+		return req, err
+	}
+	data, src, err := consumeUvarintBytes(src)
+	if err != nil {
+		return req, err
+	}
+	if len(src) != 0 {
+		return req, fmt.Errorf("wire: %d trailing append bytes", len(src))
+	}
+	req.Data = append([]byte(nil), data...)
+	return req, nil
+}
+
+func (r *ReadReq) marshalBinary(dst []byte) []byte {
+	dst = appendUvarintBytes(dst, []byte(r.Segment))
+	dst = binary.AppendVarint(dst, r.Offset)
+	dst = binary.AppendVarint(dst, int64(r.MaxBytes))
+	dst = binary.AppendVarint(dst, r.WaitMS)
+	return dst
+}
+
+func unmarshalReadReq(src []byte) (ReadReq, error) {
+	var req ReadReq
+	seg, src, err := consumeUvarintBytes(src)
+	if err != nil {
+		return req, err
+	}
+	req.Segment = string(seg)
+	if req.Offset, src, err = consumeVarint(src); err != nil {
+		return req, err
+	}
+	var mb int64
+	if mb, src, err = consumeVarint(src); err != nil {
+		return req, err
+	}
+	req.MaxBytes = int(mb)
+	if req.WaitMS, src, err = consumeVarint(src); err != nil {
+		return req, err
+	}
+	if len(src) != 0 {
+		return req, fmt.Errorf("wire: %d trailing read bytes", len(src))
+	}
+	return req, nil
+}
+
+func (r *Reply) marshalBinary(dst []byte) []byte {
+	dst = appendUvarintBytes(dst, []byte(r.Err))
+	dst = binary.AppendVarint(dst, r.Offset)
+	var eos byte
+	if r.EOS {
+		eos = 1
+	}
+	dst = append(dst, eos)
+	dst = binary.AppendVarint(dst, int64(r.Count))
+	dst = appendUvarintBytes(dst, r.Data)
+	return dst
+}
+
+// unmarshalReplyBin decodes a binary reply. Data is copied out of src (the
+// reply escapes to the caller; src is the connection's read scratch).
+func unmarshalReplyBin(src []byte) (Reply, error) {
+	var rep Reply
+	errB, src, err := consumeUvarintBytes(src)
+	if err != nil {
+		return rep, err
+	}
+	rep.Err = string(errB)
+	if rep.Offset, src, err = consumeVarint(src); err != nil {
+		return rep, err
+	}
+	if len(src) < 1 {
+		return rep, errTruncatedBody
+	}
+	rep.EOS = src[0] == 1
+	src = src[1:]
+	var cnt int64
+	if cnt, src, err = consumeVarint(src); err != nil {
+		return rep, err
+	}
+	rep.Count = int(cnt)
+	data, src, err := consumeUvarintBytes(src)
+	if err != nil {
+		return rep, err
+	}
+	if len(src) != 0 {
+		return rep, fmt.Errorf("wire: %d trailing reply bytes", len(src))
+	}
+	if len(data) > 0 {
+		rep.Data = append([]byte(nil), data...)
+	}
+	return rep, nil
+}
+
+// encPool recycles message encode buffers: a buffer holds one framed
+// message (header + body) only until it reaches the connection's
+// bufio.Writer, so the pool keeps the steady-state encode path
+// allocation-free.
+var encPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// writeFramed frames payload (already encoded into a pooled buffer that
+// includes headerSize reserved bytes at the front) and writes it.
+func writeFramed(w io.Writer, t MessageType, reqID uint64, buf []byte) error {
+	body := len(buf) - headerSize
+	if body > maxBody {
+		return fmt.Errorf("wire: body too large (%d bytes)", body)
+	}
+	binary.BigEndian.PutUint32(buf[0:4], uint32(body))
+	buf[4] = byte(t)
+	binary.BigEndian.PutUint64(buf[5:13], reqID)
+	_, err := w.Write(buf)
+	return err
+}
+
+// writeRequest encodes and writes one request message: binary bodies for
+// the append/read hot path, JSON for everything else.
+func writeRequest(w io.Writer, t MessageType, reqID uint64, body any) error {
+	bp := encPool.Get().(*[]byte)
+	var hdr [headerSize]byte
+	buf := append((*bp)[:0], hdr[:]...)
+	switch t {
+	case MsgAppend:
+		switch req := body.(type) {
+		case AppendReq:
+			buf = req.marshalBinary(buf)
+		case *AppendReq:
+			buf = req.marshalBinary(buf)
+		default:
+			encPool.Put(bp)
+			return fmt.Errorf("wire: MsgAppend body must be AppendReq, got %T", body)
+		}
+	case MsgRead:
+		switch req := body.(type) {
+		case ReadReq:
+			buf = req.marshalBinary(buf)
+		case *ReadReq:
+			buf = req.marshalBinary(buf)
+		default:
+			encPool.Put(bp)
+			return fmt.Errorf("wire: MsgRead body must be ReadReq, got %T", body)
+		}
+	default:
+		data, err := json.Marshal(body)
+		if err != nil {
+			encPool.Put(bp)
+			return err
+		}
+		buf = append(buf, data...)
+	}
+	err := writeFramed(w, t, reqID, buf)
+	*bp = buf
+	encPool.Put(bp)
+	return err
+}
+
+// writeBinReply encodes and writes one binary reply.
+func writeBinReply(w io.Writer, reqID uint64, rep *Reply) error {
+	bp := encPool.Get().(*[]byte)
+	var hdr [headerSize]byte
+	buf := append((*bp)[:0], hdr[:]...)
+	buf = rep.marshalBinary(buf)
+	err := writeFramed(w, MsgReplyBin, reqID, buf)
+	*bp = buf
+	encPool.Put(bp)
+	return err
+}

@@ -8,8 +8,11 @@ import (
 
 func TestMessageFramingRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
-	body := AppendReq{Segment: "a/b/0.#epoch.0", Data: []byte("payload"), CondOffset: -1}
-	if err := writeMessage(&buf, MsgAppend, 42, body); err != nil {
+	body := AppendReq{
+		Segment: "a/b/0.#epoch.0", Data: []byte("payload"),
+		WriterID: "w-1", EventNum: 9, EventCount: 2, CondOffset: -1,
+	}
+	if err := writeRequest(&buf, MsgAppend, 42, body); err != nil {
 		t.Fatal(err)
 	}
 	typ, id, raw, err := readMessage(&buf)
@@ -19,12 +22,94 @@ func TestMessageFramingRoundTrip(t *testing.T) {
 	if typ != MsgAppend || id != 42 {
 		t.Fatalf("type=%d id=%d", typ, id)
 	}
-	var got AppendReq
-	if err := json.Unmarshal(raw, &got); err != nil {
+	got, err := unmarshalAppendReq(raw)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Segment != body.Segment || !bytes.Equal(got.Data, body.Data) || got.CondOffset != -1 {
+	if got.Segment != body.Segment || !bytes.Equal(got.Data, body.Data) ||
+		got.WriterID != "w-1" || got.EventNum != 9 || got.EventCount != 2 || got.CondOffset != -1 {
 		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestReadReqBinaryRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := ReadReq{Segment: "s/x/3", Offset: 1 << 40, MaxBytes: 65536, WaitMS: 250}
+	if err := writeRequest(&buf, MsgRead, 7, &body); err != nil {
+		t.Fatal(err)
+	}
+	typ, id, raw, err := readMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgRead || id != 7 {
+		t.Fatalf("type=%d id=%d", typ, id)
+	}
+	got, err := unmarshalReadReq(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != body {
+		t.Fatalf("round trip: %+v != %+v", got, body)
+	}
+}
+
+func TestBinReplyRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rep := Reply{Err: "", Offset: 1234, Data: []byte("abc"), EOS: true, Count: 3}
+	if err := writeBinReply(&buf, 99, &rep); err != nil {
+		t.Fatal(err)
+	}
+	typ, id, raw, err := readMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgReplyBin || id != 99 {
+		t.Fatalf("type=%d id=%d", typ, id)
+	}
+	got, err := unmarshalReplyBin(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Offset != 1234 || !bytes.Equal(got.Data, rep.Data) || !got.EOS || got.Count != 3 || got.Err != "" {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Error replies carry the message through.
+	buf.Reset()
+	if err := writeBinReply(&buf, 1, &Reply{Err: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, raw, err = readMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := unmarshalReplyBin(raw); err != nil || got.Err != "boom" {
+		t.Fatalf("err reply: %+v, %v", got, err)
+	}
+}
+
+func TestBinaryDecodersRejectTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	req := AppendReq{Segment: "seg", Data: []byte("0123456789"), CondOffset: -1}
+	if err := writeRequest(&buf, MsgAppend, 1, req); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), buf.Bytes()[headerSize:]...)
+	for i := 0; i < len(full); i++ {
+		if _, err := unmarshalAppendReq(full[:i]); err == nil {
+			t.Fatalf("truncated append body (%d/%d bytes) accepted", i, len(full))
+		}
+	}
+	// Trailing garbage must also be rejected.
+	if _, err := unmarshalAppendReq(append(full, 0xFF)); err == nil {
+		t.Fatal("append body with trailing bytes accepted")
+	}
+	rd := ReadReq{Segment: "seg", Offset: 5, MaxBytes: 10, WaitMS: 1}
+	rbody := rd.marshalBinary(nil)
+	for i := 0; i < len(rbody); i++ {
+		if _, err := unmarshalReadReq(rbody[:i]); err == nil {
+			t.Fatalf("truncated read body (%d/%d bytes) accepted", i, len(rbody))
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/hosting"
 	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/segstore"
 	"github.com/pravega-go/pravega/pkg/pravega"
 )
 
@@ -79,64 +80,158 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// queuedReply is one response waiting for the connection's reply writer.
+type queuedReply struct {
+	id  uint64
+	rep Reply
+	bin bool
+}
+
+// replyWriter serializes responses for one connection. Completions arrive
+// from many goroutines — most importantly the segment container's applier,
+// which must never block — so send only appends to a queue under a mutex
+// and kicks the writer. A single goroutine drains the queue, writing each
+// batch through the bufio.Writer and flushing once per batch, which
+// coalesces the small append acks of a pipelined writer into few syscalls.
+type replyWriter struct {
+	wr   *bufio.Writer
+	mu   sync.Mutex
+	q    []queuedReply
+	kick chan struct{}
+	done chan struct{}
+}
+
+func (rw *replyWriter) send(id uint64, rep Reply, bin bool) {
+	rw.mu.Lock()
+	rw.q = append(rw.q, queuedReply{id: id, rep: rep, bin: bin})
+	rw.mu.Unlock()
+	select {
+	case rw.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (rw *replyWriter) loop() {
+	var batch []queuedReply
+	dead := false // write failed: keep draining so late completions don't pile up
+	for {
+		select {
+		case <-rw.kick:
+		case <-rw.done:
+			return
+		}
+		rw.mu.Lock()
+		batch, rw.q = rw.q, batch[:0]
+		rw.mu.Unlock()
+		if dead {
+			continue
+		}
+		for i := range batch {
+			q := &batch[i]
+			var err error
+			if q.bin {
+				err = writeBinReply(rw.wr, q.id, &q.rep)
+			} else {
+				err = writeMessage(rw.wr, MsgReply, q.id, q.rep)
+			}
+			if err != nil {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			_ = rw.wr.Flush()
+		}
+	}
+}
+
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
+	rw := &replyWriter{
+		wr:   bufio.NewWriter(conn),
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	loopDone := make(chan struct{})
+	go func() {
+		defer close(loopDone)
+		rw.loop()
+	}()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		close(rw.done)
+		<-loopDone
 		_ = conn.Close()
 	}()
 	rd := bufio.NewReader(conn)
-	var wmu sync.Mutex
-	wr := bufio.NewWriter(conn)
-	reply := func(id uint64, rep Reply) {
-		wmu.Lock()
-		defer wmu.Unlock()
-		if err := writeMessage(wr, MsgReply, id, rep); err == nil {
-			_ = wr.Flush()
-		}
-	}
+	var scratch []byte
 	for {
-		t, id, body, err := readMessage(rd)
+		t, id, body, err := readMessageInto(rd, &scratch)
 		if err != nil {
 			return
 		}
-		// Appends and reads may block (durability, long-poll); handle each
-		// request on its own goroutine. FIFO sequencing for appends is
-		// preserved by dispatching synchronously up to the container queue.
+		// body aliases scratch: binary decoders copy what outlives this
+		// iteration; JSON handlers get an explicit copy before dispatch.
 		switch t {
 		case MsgAppend:
-			var req AppendReq
-			if err := json.Unmarshal(body, &req); err != nil {
-				reply(id, Reply{Err: err.Error()})
+			req, err := unmarshalAppendReq(body)
+			if err != nil {
+				rw.send(id, Reply{Err: err.Error()}, true)
 				continue
 			}
 			cont, err := s.sys.Cluster().ContainerFor(req.Segment)
 			if err != nil {
-				reply(id, Reply{Err: err.Error()})
+				rw.send(id, Reply{Err: err.Error()}, true)
 				continue
 			}
 			if req.CondOffset >= 0 {
-				go func(id uint64) {
+				// Conditional appends block for durability; rare enough to
+				// afford a goroutine.
+				go func(id uint64, req AppendReq) {
 					off, err := cont.AppendConditional(req.Segment, req.Data, req.CondOffset)
-					reply(id, errReply(err, Reply{Offset: off}))
-				}(id)
+					rw.send(id, errReply(err, Reply{Offset: off}), true)
+				}(id, req)
 				continue
 			}
-			// Synchronous enqueue (order), asynchronous completion.
-			ch := cont.AppendAsync(req.Segment, req.Data, req.WriterID, req.EventNum, req.EventCount)
-			go func(id uint64) {
-				r := <-ch
-				reply(id, errReply(r.Err, Reply{Offset: r.Offset}))
-			}(id)
+			// Synchronous enqueue preserves the connection's FIFO append
+			// order; the container's applier delivers the completion straight
+			// into the reply queue — no goroutine or channel per append.
+			cont.AppendAsyncFunc(req.Segment, req.Data, req.WriterID, req.EventNum, req.EventCount,
+				func(r segstore.AppendResult) {
+					rw.send(id, errReply(r.Err, Reply{Offset: r.Offset}), true)
+				})
+		case MsgRead:
+			req, err := unmarshalReadReq(body)
+			if err != nil {
+				rw.send(id, Reply{Err: err.Error()}, true)
+				continue
+			}
+			// Reads may long-poll; each gets its own goroutine.
+			go func(id uint64, req ReadReq) {
+				rw.send(id, s.handleRead(req), true)
+			}(id, req)
 		default:
-			body := body
+			bodyCopy := append([]byte(nil), body...)
 			go func(t MessageType, id uint64, body []byte) {
-				reply(id, s.handle(t, body))
-			}(t, id, body)
+				rw.send(id, s.handle(t, body), false)
+			}(t, id, bodyCopy)
 		}
 	}
+}
+
+// handleRead serves a (long-poll) segment read.
+func (s *Server) handleRead(req ReadReq) Reply {
+	cont, err := s.sys.Cluster().ContainerFor(req.Segment)
+	if err != nil {
+		return Reply{Err: err.Error()}
+	}
+	res, err := cont.Read(req.Segment, req.Offset, req.MaxBytes, time.Duration(req.WaitMS)*time.Millisecond)
+	if err != nil {
+		return Reply{Err: err.Error()}
+	}
+	return Reply{Data: res.Data, Offset: res.Offset, EOS: res.EndOfSegment}
 }
 
 func errReply(err error, rep Reply) Reply {
@@ -156,20 +251,6 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 			return Reply{Err: err.Error()}
 		}
 		return errReply(cl.CreateSegment(req.Segment), Reply{})
-	case MsgRead:
-		var req ReadReq
-		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
-		}
-		cont, err := cl.ContainerFor(req.Segment)
-		if err != nil {
-			return Reply{Err: err.Error()}
-		}
-		res, err := cont.Read(req.Segment, req.Offset, req.MaxBytes, time.Duration(req.WaitMS)*time.Millisecond)
-		if err != nil {
-			return Reply{Err: err.Error()}
-		}
-		return Reply{Data: res.Data, Offset: res.Offset, EOS: res.EndOfSegment}
 	case MsgSeal:
 		var req SegmentReq
 		if err := json.Unmarshal(body, &req); err != nil {

@@ -1,9 +1,12 @@
 // Package wire implements the TCP protocol between Pravega clients and
-// server nodes: length-prefixed, request-id-correlated messages carrying
-// JSON bodies. Requests pipeline on one connection and responses may
-// return out of order, exactly like Pravega's wire protocol; the segment
-// append path preserves per-connection FIFO submission order, which the
-// event writer's ordering guarantee builds on (§3.2).
+// server nodes: length-prefixed, request-id-correlated messages. The
+// append/read hot path carries compact binary bodies (uvarint framing,
+// mirroring the segment store's WAL frames) and pools its encode buffers
+// and read scratch; control-plane messages carry JSON bodies. Requests
+// pipeline on one connection and responses may return out of order,
+// exactly like Pravega's wire protocol; the segment append path preserves
+// per-connection FIFO submission order, which the event writer's ordering
+// guarantee builds on (§3.2).
 //
 // The in-process deployments used by tests and benchmarks bypass this
 // layer; cmd/pravega-server and cmd/pravega-cli exercise it end to end.
@@ -41,8 +44,10 @@ const (
 	MsgScale
 	MsgSealStream
 	MsgSegmentCount
-	// Response.
+	// Responses: MsgReply carries a JSON body, MsgReplyBin the binary
+	// encoding used for append/read responses.
 	MsgReply
+	MsgReplyBin
 )
 
 // Every message is preceded by a fixed header: 4-byte body length, 1-byte
@@ -52,7 +57,7 @@ const headerSize = 4 + 1 + 8
 // maxBody bounds one message (events are ≤ 8 MiB in this build).
 const maxBody = 32 << 20
 
-// writeMessage frames and writes one message.
+// writeMessage frames and writes one JSON-bodied message.
 func writeMessage(w io.Writer, t MessageType, reqID uint64, body any) error {
 	data, err := json.Marshal(body)
 	if err != nil {
@@ -72,8 +77,11 @@ func writeMessage(w io.Writer, t MessageType, reqID uint64, body any) error {
 	return err
 }
 
-// readMessage reads one framed message.
-func readMessage(r io.Reader) (MessageType, uint64, []byte, error) {
+// readMessageInto reads one framed message into *scratch (grown as
+// needed). The returned body aliases the scratch buffer and is valid only
+// until the next call: the connection read loops decode (or copy) before
+// reading again, so one buffer serves the connection's lifetime.
+func readMessageInto(r io.Reader, scratch *[]byte) (MessageType, uint64, []byte, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, 0, nil, err
@@ -84,11 +92,20 @@ func readMessage(r io.Reader) (MessageType, uint64, []byte, error) {
 	}
 	t := MessageType(hdr[4])
 	id := binary.BigEndian.Uint64(hdr[5:13])
-	body := make([]byte, n)
+	if uint32(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	body := (*scratch)[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return 0, 0, nil, err
 	}
 	return t, id, body, nil
+}
+
+// readMessage reads one framed message into a fresh buffer.
+func readMessage(r io.Reader) (MessageType, uint64, []byte, error) {
+	var scratch []byte
+	return readMessageInto(r, &scratch)
 }
 
 // Request bodies.
@@ -170,19 +187,27 @@ func Dial(addr string) (*Conn, error) {
 
 func (c *Conn) readLoop() {
 	rd := bufio.NewReader(c.conn)
+	var scratch []byte
 	for {
-		t, id, body, err := readMessage(rd)
+		t, id, body, err := readMessageInto(rd, &scratch)
 		if err != nil {
 			c.failAll(err)
 			return
 		}
-		if t != MsgReply {
-			c.failAll(fmt.Errorf("wire: unexpected message type %d", t))
-			return
-		}
 		var rep Reply
-		if err := json.Unmarshal(body, &rep); err != nil {
-			c.failAll(err)
+		switch t {
+		case MsgReply:
+			if err := json.Unmarshal(body, &rep); err != nil {
+				c.failAll(err)
+				return
+			}
+		case MsgReplyBin:
+			if rep, err = unmarshalReplyBin(body); err != nil {
+				c.failAll(err)
+				return
+			}
+		default:
+			c.failAll(fmt.Errorf("wire: unexpected message type %d", t))
 			return
 		}
 		c.pendMu.Lock()
@@ -222,24 +247,26 @@ func (c *Conn) Call(t MessageType, body any) (Reply, error) {
 // Requests issued from one goroutine are written in order.
 func (c *Conn) CallAsync(t MessageType, body any) (<-chan Reply, error) {
 	ch := make(chan Reply, 1)
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	// The liveness check and the pending registration share one pendMu
+	// critical section: if the read loop fails between them it cannot miss
+	// this entry (failAll either already reported the error here, or will
+	// drain the registered channel).
 	c.pendMu.Lock()
 	if c.readErr != nil || c.closed {
 		err := c.readErr
 		c.pendMu.Unlock()
+		c.mu.Unlock()
 		if err == nil {
 			err = net.ErrClosed
 		}
 		return nil, err
 	}
-	c.pendMu.Unlock()
-
-	c.mu.Lock()
-	c.nextID++
-	id := c.nextID
-	c.pendMu.Lock()
 	c.pending[id] = ch
 	c.pendMu.Unlock()
-	err := writeMessage(c.wr, t, id, body)
+	err := writeRequest(c.wr, t, id, body)
 	if err == nil {
 		err = c.wr.Flush()
 	}
