@@ -31,6 +31,8 @@ func main() {
 		bookies    = flag.Int("bookies", 3, "bookie instances")
 		ltsDir     = flag.String("lts-dir", "", "directory for long-term storage (empty = in-memory)")
 		policyMS   = flag.Int("policy-interval-ms", 2000, "auto-scaling/retention evaluation period")
+		metrics    = flag.String("metrics", "", "address for the observability HTTP endpoint (/metrics, /debug/vars, /debug/pprof/, /debug/traces); empty = disabled")
+		traceEvery = flag.Int("trace-sample", 0, "sample one append span per N appends into /debug/traces (0 = off)")
 	)
 	flag.Parse()
 
@@ -40,7 +42,9 @@ func main() {
 			ContainersPerStore: *containers,
 			Bookies:            *bookies,
 		},
-		PolicyInterval: time.Duration(*policyMS) * time.Millisecond,
+		PolicyInterval:   time.Duration(*policyMS) * time.Millisecond,
+		MetricsAddr:      *metrics,
+		TraceSampleEvery: *traceEvery,
 	}
 	if *ltsDir != "" {
 		fsStore, err := lts.NewFS(*ltsDir)
@@ -62,6 +66,9 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("pravega-server: serving on %s (%d stores × %d containers, %d bookies)\n",
 		srv.Addr(), *stores, *containers, *bookies)
+	if addr := sys.MetricsAddr(); addr != "" {
+		fmt.Printf("pravega-server: metrics on http://%s/metrics\n", addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -304,6 +304,7 @@ func (c *Cache) addUsed(n int64) {
 	c.mu.Lock()
 	c.usedBytes += n
 	c.mu.Unlock()
+	mUsedBytes.Add(n)
 }
 
 // Get reconstructs the entry whose last block is addr. The chain is walked

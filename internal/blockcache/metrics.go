@@ -1,0 +1,8 @@
+package blockcache
+
+import "github.com/pravega-go/pravega/internal/obs"
+
+// mUsedBytes tracks occupied cache bytes across every cache instance; each
+// Cache contributes deltas from its single accounting point (addUsed).
+var mUsedBytes = obs.Default().Gauge("pravega_blockcache_used_bytes",
+	"Bytes currently held in block caches (all instances)")

@@ -1,6 +1,7 @@
 package hosting
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -105,12 +106,18 @@ func (c *Conn) AppendConditional(segment string, data []byte, expectedOffset int
 
 // Read performs a (long-poll) segment read.
 func (c *Conn) Read(segment string, offset int64, maxBytes int, wait time.Duration) (segstore.ReadResult, error) {
+	return c.ReadCtx(context.Background(), segment, offset, maxBytes, wait)
+}
+
+// ReadCtx is Read with cancellation plumbed through to the server-side
+// long-poll: a tail read unblocks as soon as ctx is done.
+func (c *Conn) ReadCtx(ctx context.Context, segment string, offset int64, maxBytes int, wait time.Duration) (segstore.ReadResult, error) {
 	cont, err := c.cl.ContainerFor(segment)
 	if err != nil {
 		return segstore.ReadResult{}, err
 	}
 	c.oneWay()
-	res, err := cont.Read(segment, offset, maxBytes, wait)
+	res, err := cont.ReadCtx(ctx, segment, offset, maxBytes, wait)
 	c.oneWay()
 	return res, err
 }

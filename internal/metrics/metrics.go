@@ -112,6 +112,9 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(c)
 }
 
+// Sum returns the sum of all recorded observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
 // Max returns the largest recorded value, or 0 when empty.
 func (h *Histogram) Max() int64 {
 	if h.count.Load() == 0 {

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns the observability endpoint set for a registry:
+//
+//	/metrics        Prometheus text exposition (version 0.0.4)
+//	/debug/vars     expvar JSON (includes the registry under "pravega")
+//	/debug/pprof/*  runtime profiling
+//	/debug/traces   sampled append spans (JSON, oldest first)
+func Handler(r *Registry) http.Handler {
+	if r == defaultRegistry {
+		publishExpvar(r)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(AppendTraces().Snapshot())
+	})
+	return mux
+}
+
+// publishExpvar exposes the default registry through the expvar namespace
+// exactly once (expvar panics on duplicate names).
+var expvarOnce sync.Once
+
+func publishExpvar(r *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("pravega", expvar.Func(func() any { return r.Snapshot() }))
+	})
+}
+
+// Server is a running observability HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoints on addr (use "127.0.0.1:0" for
+// an ephemeral port). The server runs until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Handler(r)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

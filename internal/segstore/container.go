@@ -284,6 +284,7 @@ func (c *Container) applyRecovered(op *Operation, addr wal.Address) {
 		c.flushMu.Lock()
 		c.unflushedBytes += int64(len(op.Data))
 		c.flushMu.Unlock()
+		mUnflushedBytes.Add(int64(len(op.Data)))
 		c.kickFlush()
 	case OpSeal:
 		if s, ok := c.segments[op.Segment]; ok {
@@ -369,6 +370,7 @@ func (c *Container) evictLocked() {
 			if e.End() <= s.storageLength {
 				if s.index.Replace(readindex.Entry{Offset: e.Offset, Length: e.Length, Where: readindex.InLTS}) {
 					_ = c.cache.Delete(e.CacheAddr)
+					mCacheEvictions.Inc()
 				}
 			}
 		}

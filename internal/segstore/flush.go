@@ -99,6 +99,7 @@ func (c *Container) flushOnce(all bool) {
 // flushSegment writes one batch to the segment's active chunk, rolling over
 // to a new chunk at the size limit, then retires the flushed items.
 func (c *Container) flushSegment(w flushWork) error {
+	start := time.Now()
 	written := 0
 	for written < len(w.data) {
 		name, chunkOff, space, err := c.activeChunk(w.segment, w.offset+int64(written))
@@ -116,6 +117,9 @@ func (c *Container) flushSegment(w flushWork) error {
 		written += n
 	}
 	c.retireFlushed(w)
+	mLTSFlushes.Inc()
+	mLTSFlushBytes.Add(int64(len(w.data)))
+	mLTSFlushUs.RecordSince(start)
 	return nil
 }
 
@@ -186,6 +190,7 @@ func (c *Container) retireFlushed(w flushWork) {
 	c.flushMu.Lock()
 	c.unflushedBytes -= freed
 	c.flushMu.Unlock()
+	mUnflushedBytes.Add(-freed)
 	c.flushCond.Broadcast()
 }
 

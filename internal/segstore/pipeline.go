@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/pravega-go/pravega/internal/obs"
 	"github.com/pravega-go/pravega/internal/segment"
 	"github.com/pravega-go/pravega/internal/wal"
 )
@@ -14,13 +15,14 @@ import (
 // in-order applier installs it into container state. The struct and its two
 // slices are pooled — one frame object serves many frames over its life.
 type frameResult struct {
-	seq   int64
-	addr  wal.Address
-	err   error
-	ops   []*Operation
-	done  []*pendingOp
-	bytes int
-	start time.Time
+	seq     int64
+	addr    wal.Address
+	err     error
+	ops     []*Operation
+	done    []*pendingOp
+	bytes   int
+	start   time.Time
+	sampled bool // at least one op carries a trace span
 }
 
 var framePool = sync.Pool{New: func() any {
@@ -37,7 +39,7 @@ func putFrame(f *frameResult) {
 		f.done[i] = nil
 	}
 	f.ops, f.done = f.ops[:0], f.done[:0]
-	f.seq, f.addr, f.err, f.bytes, f.start = 0, wal.Address{}, nil, 0, time.Time{}
+	f.seq, f.addr, f.err, f.bytes, f.start, f.sampled = 0, wal.Address{}, nil, 0, time.Time{}, false
 	framePool.Put(f)
 }
 
@@ -51,6 +53,7 @@ type pendingOp struct {
 	result AppendResult
 	res    chan AppendResult  // nil when cb is set
 	cb     func(AppendResult) // nil when res is set
+	span   *obs.Span          // sampled trace span, usually nil
 }
 
 var pendingOpPool = sync.Pool{New: func() any { return new(pendingOp) }}
@@ -59,14 +62,15 @@ var pendingOpPool = sync.Pool{New: func() any { return new(pendingOp) }}
 // blocks (res has capacity 1 and receives exactly one value); cb runs on
 // the completing goroutine and must not block.
 func (p *pendingOp) complete(r AppendResult) {
-	res, cb := p.res, p.cb
+	res, cb, sp := p.res, p.cb, p.span
 	*p = pendingOp{}
 	pendingOpPool.Put(p)
 	if cb != nil {
 		cb(r)
-		return
+	} else {
+		res <- r
 	}
-	res <- r
+	sp.Finish()
 }
 
 // submit queues an operation and waits for its durable completion.
@@ -77,8 +81,12 @@ func (c *Container) submit(op Operation) (int64, error) {
 	p := pendingOpPool.Get().(*pendingOp)
 	res := make(chan AppendResult, 1)
 	p.op, p.res = op, res
+	if op.Type == OpAppend {
+		p.span = obs.AppendTraces().Sample(op.Segment, len(op.Data))
+	}
 	select {
 	case c.opQueue <- p:
+		mQueueDepth.Add(1)
 	case <-c.stop:
 		p.complete(AppendResult{Err: ErrContainerDown})
 		return 0, ErrContainerDown
@@ -184,8 +192,10 @@ func (c *Container) enqueueAppend(op Operation, res chan AppendResult, cb func(A
 	}
 	p := pendingOpPool.Get().(*pendingOp)
 	p.op, p.res, p.cb = op, res, cb
+	p.span = obs.AppendTraces().Sample(op.Segment, len(op.Data))
 	select {
 	case c.opQueue <- p:
+		mQueueDepth.Add(1)
 	case <-c.stop:
 		p.complete(AppendResult{Err: ErrContainerDown})
 	}
@@ -220,16 +230,20 @@ func (c *Container) DeleteSegment(name string) error {
 // the integrated storage-tiering backpressure of §4.3/§5.4.
 func (c *Container) throttle() {
 	c.flushMu.Lock()
-	waited := false
+	var engaged time.Time
 	for c.unflushedBytes > c.cfg.MaxUnflushedBytes && !c.downFlag.Load() {
-		if !waited {
-			waited = true
+		if engaged.IsZero() {
+			engaged = time.Now()
 			c.throttleWaits.Add(1)
+			mThrottleEngaged.Inc()
 		}
 		c.kickFlush()
 		c.flushCond.Wait()
 	}
 	c.flushMu.Unlock()
+	if !engaged.IsZero() {
+		mThrottleUs.RecordSince(engaged)
+	}
 }
 
 // frameBuilderLoop implements §4.1's second batching level: it drains the
@@ -250,6 +264,7 @@ func (c *Container) frameBuilderLoop() {
 
 		fr := getFrame()
 		admit := func(p *pendingOp) {
+			mQueueDepth.Add(-1)
 			if err := c.validateAndSequence(&p.op); err != nil {
 				if err == errDuplicateAppend {
 					// Writer retry of an already-applied append: acknowledge
@@ -264,6 +279,10 @@ func (c *Container) frameBuilderLoop() {
 			fr.bytes += len(p.op.Data) + len(p.op.Segment) + len(p.op.Checkpoint) + 32
 			fr.ops = append(fr.ops, &p.op)
 			fr.done = append(fr.done, p)
+			if p.span != nil {
+				p.span.MarkEnqueued()
+				fr.sampled = true
+			}
 		}
 		admit(first)
 
@@ -304,6 +323,7 @@ func (c *Container) drainQueue() {
 	for {
 		select {
 		case p := <-c.opQueue:
+			mQueueDepth.Add(-1)
 			p.complete(AppendResult{Err: ErrContainerDown})
 		default:
 			return
@@ -403,10 +423,17 @@ func (c *Container) submitFrame(fr *frameResult) {
 	fr.seq = c.framesSubmitted.Load()
 	c.framesSubmitted.Store(fr.seq + 1)
 
+	mFrameOps.Record(int64(len(fr.ops)))
+	mFrameBytes.Record(int64(fr.bytes))
 	data := marshalFrameForWAL(fr.ops)
 	fr.start = time.Now()
 	c.log.AppendAsync(data, func(addr wal.Address, err error) {
 		c.updateBatchStats(time.Since(fr.start), fr.bytes)
+		if fr.sampled {
+			for _, p := range fr.done {
+				p.span.MarkWALAck()
+			}
+		}
 		fr.addr, fr.err = addr, err
 		c.enqueueCompleted(fr)
 	})
@@ -549,8 +576,18 @@ func (c *Container) applyFrame(f *frameResult) {
 
 	c.framesWritten.Add(1)
 	c.opsProcessed.Add(int64(len(f.ops)))
+	mFramesApplied.Inc()
+	mOpsApplied.Add(int64(len(f.ops)))
+	mApplyUs.RecordSince(f.start)
+	if f.sampled {
+		for _, p := range f.done {
+			p.span.MarkApplied()
+		}
+	}
 	if appendBytes > 0 {
 		c.bytesWritten.Add(appendBytes)
+		mAppendBytes.Add(appendBytes)
+		mUnflushedBytes.Add(appendBytes)
 		c.flushMu.Lock()
 		c.unflushedBytes += appendBytes
 		c.flushMu.Unlock()

@@ -1,6 +1,7 @@
 package segstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -24,6 +25,13 @@ type ReadResult struct {
 // server-side, §4.2 — here a bounded long-poll). A zero wait makes tail
 // reads return immediately with empty data.
 func (c *Container) Read(name string, offset int64, maxBytes int, wait time.Duration) (ReadResult, error) {
+	return c.ReadCtx(context.Background(), name, offset, maxBytes, wait)
+}
+
+// ReadCtx is Read with cancellation: a tail read long-polling for new data
+// returns as soon as ctx is done (with ctx.Err()), instead of waiting out
+// the full poll interval.
+func (c *Container) ReadCtx(ctx context.Context, name string, offset int64, maxBytes int, wait time.Duration) (ReadResult, error) {
 	if maxBytes <= 0 {
 		maxBytes = 1 << 20
 	}
@@ -68,6 +76,9 @@ func (c *Container) Read(name string, offset int64, maxBytes int, wait time.Dura
 				continue
 			case <-timer.C:
 				return ReadResult{Offset: offset}, nil
+			case <-ctx.Done():
+				timer.Stop()
+				return ReadResult{}, ctx.Err()
 			case <-c.stop:
 				timer.Stop()
 				return ReadResult{}, ErrContainerDown
@@ -87,11 +98,13 @@ func (c *Container) readAvailableLocked(s *segState, offset int64, maxBytes int)
 	if int64(maxBytes) > avail {
 		maxBytes = int(avail)
 	}
+	mReadLookups.Inc()
 	entry, err := s.index.Find(offset)
 	switch {
 	case err == nil && entry.Where == readindex.InCache:
 		data, cerr := c.cache.Get(entry.CacheAddr)
 		if cerr == nil {
+			mCacheHits.Inc()
 			from := offset - entry.Offset
 			to := from + int64(maxBytes)
 			if to > int64(len(data)) {
@@ -102,6 +115,7 @@ func (c *Container) readAvailableLocked(s *segState, offset int64, maxBytes int)
 		// Cache raced with eviction; fall through to other sources.
 		fallthrough
 	default:
+		mCacheMisses.Inc()
 		if offset < s.storageLength {
 			return c.readFromLTSLocked(s, offset, maxBytes)
 		}

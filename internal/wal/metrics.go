@@ -1,0 +1,16 @@
+package wal
+
+import "github.com/pravega-go/pravega/internal/obs"
+
+// Process-wide series for the durable log layer, shared by every log (one
+// per segment container).
+var (
+	mAppends = obs.Default().Counter("pravega_wal_appends_total",
+		"Entries submitted to the write-ahead log")
+	mAppendUs = obs.Default().Histogram("pravega_wal_append_us",
+		"Entry latency from submission to quorum acknowledgement, microseconds")
+	mRollovers = obs.Default().Counter("pravega_wal_rollovers_total",
+		"Ledger rollovers (new ledger opened at the size limit)")
+	mTruncatedLedgers = obs.Default().Counter("pravega_wal_truncated_ledgers_total",
+		"Ledgers released by truncation after tiering to LTS")
+)

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/pravega-go/pravega/internal/bookkeeper"
 	"github.com/pravega-go/pravega/internal/cluster"
@@ -177,6 +178,9 @@ func (l *Log) rolloverLocked() error {
 	if err := l.writeMetadataLocked(); err != nil {
 		return err
 	}
+	if l.current != nil {
+		mRollovers.Inc()
+	}
 	l.current = h
 	l.written = 0
 	return nil
@@ -221,10 +225,13 @@ func (l *Log) AppendAsync(data []byte, cb func(Address, error)) {
 	l.inflight.Add(1)
 	l.mu.Unlock()
 
+	mAppends.Inc()
+	start := time.Now()
 	owned := make([]byte, len(data))
 	copy(owned, data)
 	h.AppendAsync(owned, func(entry int64, err error) {
 		defer l.inflight.Done()
+		mAppendUs.RecordSince(start)
 		if err != nil {
 			if errors.Is(err, bookkeeper.ErrFenced) {
 				l.mu.Lock()
@@ -318,6 +325,7 @@ func (l *Log) Truncate(upTo Address) error {
 	if err != nil {
 		return err
 	}
+	mTruncatedLedgers.Add(int64(len(freed)))
 	for _, lid := range freed {
 		if err := l.cfg.Client.DeleteLedger(lid); err != nil {
 			return err

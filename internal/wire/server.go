@@ -11,8 +11,19 @@ import (
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/hosting"
 	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/obs"
 	"github.com/pravega-go/pravega/internal/segstore"
 	"github.com/pravega-go/pravega/pkg/pravega"
+)
+
+// Process-wide series for the wire protocol server.
+var (
+	mConnections = obs.Default().Gauge("pravega_wire_connections",
+		"Open client connections")
+	mRequests = obs.Default().Counter("pravega_wire_requests_total",
+		"Requests received across all connections")
+	mAcksPerFlush = obs.Default().Histogram("pravega_wire_acks_per_flush",
+		"Replies coalesced into one connection flush")
 )
 
 // Server exposes a full Pravega node (control plane + data plane of an
@@ -126,6 +137,9 @@ func (rw *replyWriter) loop() {
 		if dead {
 			continue
 		}
+		if len(batch) > 0 {
+			mAcksPerFlush.Record(int64(len(batch)))
+		}
 		for i := range batch {
 			q := &batch[i]
 			var err error
@@ -147,6 +161,8 @@ func (rw *replyWriter) loop() {
 
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
+	mConnections.Add(1)
+	defer mConnections.Add(-1)
 	rw := &replyWriter{
 		wr:   bufio.NewWriter(conn),
 		kick: make(chan struct{}, 1),
@@ -172,6 +188,7 @@ func (s *Server) serve(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		mRequests.Inc()
 		// body aliases scratch: binary decoders copy what outlives this
 		// iteration; JSON handlers get an explicit copy before dispatch.
 		switch t {

@@ -30,6 +30,7 @@ import (
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/hosting"
 	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/obs"
 	"github.com/pravega-go/pravega/internal/sim"
 )
 
@@ -101,6 +102,15 @@ type SystemConfig struct {
 	PolicyInterval time.Duration
 	// ScaleCooldown is the per-stream hysteresis between scaling events.
 	ScaleCooldown time.Duration
+	// MetricsAddr starts the observability HTTP endpoint on this address
+	// (Prometheus text on /metrics, expvar on /debug/vars, pprof under
+	// /debug/pprof/, sampled append spans on /debug/traces). Empty
+	// disables the endpoint; "127.0.0.1:0" picks an ephemeral port (see
+	// System.MetricsAddr).
+	MetricsAddr string
+	// TraceSampleEvery samples one append span per this many appends into
+	// the /debug/traces ring. Zero disables append tracing.
+	TraceSampleEvery int
 }
 
 // System is a running Pravega deployment plus its control plane.
@@ -108,6 +118,7 @@ type System struct {
 	cluster *hosting.Cluster
 	ctrl    *controller.Controller
 	profile *sim.Profile
+	obsSrv  *obs.Server
 }
 
 // NewInProcess starts a full in-process deployment.
@@ -129,13 +140,37 @@ func NewInProcess(cfg SystemConfig) (*System, error) {
 	if cfg.PolicyInterval > 0 {
 		ctrl.StartPolicyLoops(cfg.PolicyInterval)
 	}
-	return &System{cluster: cl, ctrl: ctrl, profile: cfg.Profile}, nil
+	s := &System{cluster: cl, ctrl: ctrl, profile: cfg.Profile}
+	if cfg.TraceSampleEvery > 0 {
+		obs.AppendTraces().SetSampleEvery(cfg.TraceSampleEvery)
+	}
+	if cfg.MetricsAddr != "" {
+		srv, err := obs.Serve(cfg.MetricsAddr, obs.Default())
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.obsSrv = srv
+	}
+	return s, nil
 }
 
 // Close shuts the deployment down.
 func (s *System) Close() {
+	if s.obsSrv != nil {
+		_ = s.obsSrv.Close()
+	}
 	s.ctrl.Close()
 	s.cluster.Close()
+}
+
+// MetricsAddr returns the bound address of the observability endpoint, or
+// "" when SystemConfig.MetricsAddr was empty.
+func (s *System) MetricsAddr() string {
+	if s.obsSrv == nil {
+		return ""
+	}
+	return s.obsSrv.Addr()
 }
 
 // Cluster exposes the underlying deployment (advanced use: failure
@@ -146,11 +181,11 @@ func (s *System) Cluster() *hosting.Cluster { return s.cluster }
 func (s *System) Controller() *controller.Controller { return s.ctrl }
 
 // CreateScope registers a stream namespace.
-func (s *System) CreateScope(scope string) error { return s.ctrl.CreateScope(scope) }
+func (s *System) CreateScope(scope string) error { return convertErr(s.ctrl.CreateScope(scope)) }
 
 // CreateStream creates a stream.
 func (s *System) CreateStream(cfg StreamConfig) error {
-	return s.ctrl.CreateStream(controller.StreamConfig{
+	return convertErr(s.ctrl.CreateStream(controller.StreamConfig{
 		Scope:           cfg.Scope,
 		Name:            cfg.Name,
 		InitialSegments: cfg.InitialSegments,
@@ -160,7 +195,7 @@ func (s *System) CreateStream(cfg StreamConfig) error {
 			LimitBytes:    cfg.Retention.LimitBytes,
 			LimitDuration: cfg.Retention.LimitDuration,
 		},
-	})
+	}))
 }
 
 func toInternalScaling(p ScalingPolicy) controller.ScalingPolicy {
@@ -194,18 +229,23 @@ func (s *System) UpdateStreamPolicies(scope, stream string, scaling *ScalingPoli
 			LimitDuration: retention.LimitDuration,
 		}
 	}
-	return s.ctrl.UpdateStreamPolicies(scope, stream, sp, rp)
+	return convertErr(s.ctrl.UpdateStreamPolicies(scope, stream, sp, rp))
 }
 
 // SealStream makes a stream read-only.
-func (s *System) SealStream(scope, stream string) error { return s.ctrl.SealStream(scope, stream) }
+func (s *System) SealStream(scope, stream string) error {
+	return convertErr(s.ctrl.SealStream(scope, stream))
+}
 
 // DeleteStream removes a sealed stream.
-func (s *System) DeleteStream(scope, stream string) error { return s.ctrl.DeleteStream(scope, stream) }
+func (s *System) DeleteStream(scope, stream string) error {
+	return convertErr(s.ctrl.DeleteStream(scope, stream))
+}
 
 // SegmentCount reports the stream's current parallelism.
 func (s *System) SegmentCount(scope, stream string) (int, error) {
-	return s.ctrl.SegmentCount(scope, stream)
+	n, err := s.ctrl.SegmentCount(scope, stream)
+	return n, convertErr(err)
 }
 
 // ScaleStream manually splits one active segment into factor successors
@@ -213,11 +253,11 @@ func (s *System) SegmentCount(scope, stream string) (int, error) {
 func (s *System) ScaleStream(scope, stream string, segmentNumber int64, factor int) error {
 	segs, err := s.ctrl.GetActiveSegments(scope, stream)
 	if err != nil {
-		return err
+		return convertErr(err)
 	}
 	for _, sr := range segs {
 		if sr.ID.Number == segmentNumber {
-			return s.ctrl.Scale(scope, stream, []int64{segmentNumber}, sr.KeyRange.Split(factor))
+			return convertErr(s.ctrl.Scale(scope, stream, []int64{segmentNumber}, sr.KeyRange.Split(factor)))
 		}
 	}
 	return fmt.Errorf("pravega: segment %d is not active in %s/%s", segmentNumber, scope, stream)
@@ -228,17 +268,17 @@ func (s *System) ScaleStream(scope, stream string, segmentNumber int64, factor i
 func (s *System) TruncateStreamAtTail(scope, stream string) error {
 	segs, err := s.ctrl.GetActiveSegments(scope, stream)
 	if err != nil {
-		return err
+		return convertErr(err)
 	}
 	cut := make(controller.StreamCut, len(segs))
 	for _, sr := range segs {
 		info, err := s.cluster.SegmentInfo(sr.ID.QualifiedName())
 		if err != nil {
-			return err
+			return convertErr(err)
 		}
 		cut[sr.ID.Number] = info.Length
 	}
-	return s.ctrl.TruncateStream(scope, stream, cut)
+	return convertErr(s.ctrl.TruncateStream(scope, stream, cut))
 }
 
 // routeTable is the writer's view of a stream's active segments.

@@ -1,6 +1,7 @@
 package pravega
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"sync"
@@ -37,6 +38,7 @@ type Reader struct {
 	rr       []string // round-robin order
 	rrNext   int
 	lastSync time.Time
+	lastRev  int64 // synchronizer revision at the last full rebalance
 	closed   bool
 
 	// catchUpBytes sizes tail fetches; far-behind segments use larger
@@ -174,53 +176,148 @@ func (r *Reader) rebalance() error {
 	return nil
 }
 
+// maybeRebalance refreshes group state once the sync window has elapsed (or
+// the reader owns nothing) and runs a full rebalance pass only when the
+// group's replicated state actually changed since the last pass: the
+// synchronizer revision is cached, so a quiet group costs one state fetch
+// per window instead of a full reassignment scan with conditional updates.
+func (r *Reader) maybeRebalance() error {
+	r.mu.Lock()
+	needSync := time.Since(r.lastSync) > 100*time.Millisecond || len(r.owned) == 0
+	r.mu.Unlock()
+	if !needSync {
+		return nil
+	}
+	if err := r.rg.sync.Fetch(); err != nil {
+		return convertErr(err)
+	}
+	rev := r.rg.sync.Updates()
+	r.mu.Lock()
+	unchanged := rev == r.lastRev && len(r.owned) > 0
+	if unchanged {
+		r.lastSync = time.Now()
+	}
+	r.mu.Unlock()
+	if unchanged {
+		mClientRebalancesSkipped.Inc()
+		return nil
+	}
+	if err := r.rebalance(); err != nil {
+		return convertErr(err)
+	}
+	mClientRebalances.Inc()
+	// Cache the revision after our own acquire/release updates so they do
+	// not trigger the next pass.
+	rev = r.rg.sync.Updates()
+	r.mu.Lock()
+	r.lastRev = rev
+	r.lastSync = time.Now()
+	r.mu.Unlock()
+	return nil
+}
+
 // ReadNextEvent returns the next event from any assigned segment, waiting
 // up to timeout. It returns ErrNoEvent on a quiet tail.
+//
+// A timeout <= 0 performs exactly one non-blocking pass: a buffered event
+// is returned if one is ready, otherwise one zero-wait fetch is attempted
+// and ErrNoEvent is returned when it yields nothing.
 func (r *Reader) ReadNextEvent(timeout time.Duration) (Event, error) {
-	deadline := time.Now().Add(timeout)
+	if timeout <= 0 {
+		return r.readOnce()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	ev, err := r.ReadNextEventCtx(ctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		return Event{}, ErrNoEvent
+	}
+	return ev, err
+}
+
+// ReadNextEventCtx returns the next event from any assigned segment,
+// waiting until ctx is done. Cancellation propagates into the server-side
+// tail long-poll, so the call unblocks promptly (not at the next poll
+// boundary). An event already buffered locally is served even when ctx has
+// expired; otherwise the error is ctx.Err().
+func (r *Reader) ReadNextEventCtx(ctx context.Context) (Event, error) {
 	for {
 		r.mu.Lock()
-		if r.closed {
-			r.mu.Unlock()
-			return Event{}, errors.New("pravega: reader closed")
-		}
-		needSync := time.Since(r.lastSync) > 100*time.Millisecond || len(r.owned) == 0
+		closed := r.closed
 		r.mu.Unlock()
-		if needSync {
-			if err := r.rebalance(); err != nil {
-				return Event{}, err
-			}
-			r.mu.Lock()
-			r.lastSync = time.Now()
-			r.mu.Unlock()
+		if closed {
+			return Event{}, ErrReaderClosed
+		}
+		if err := r.maybeRebalance(); err != nil {
+			return Event{}, err
 		}
 
 		// Serve a buffered event if any segment has one.
 		if ev, ok, err := r.popBuffered(); err != nil {
-			return Event{}, err
+			return Event{}, convertErr(err)
 		} else if ok {
 			return ev, nil
 		}
 
-		remain := time.Until(deadline)
-		if remain <= 0 {
-			return Event{}, ErrNoEvent
+		if err := ctx.Err(); err != nil {
+			return Event{}, err
 		}
 
 		// Fetch more data from the next segment in round-robin order.
 		seg := r.nextSegment()
 		if seg == nil {
 			// Nothing assigned yet; wait briefly for assignments.
-			sleep := 10 * time.Millisecond
-			if sleep > remain {
-				sleep = remain
+			if err := sleepCtx(ctx, 10*time.Millisecond); err != nil {
+				return Event{}, err
 			}
-			time.Sleep(sleep)
 			continue
 		}
-		if err := r.fill(seg, remain); err != nil {
+		if err := r.fill(ctx, seg, 20*time.Millisecond); err != nil {
 			return Event{}, err
 		}
+	}
+}
+
+// readOnce is the timeout <= 0 pass of ReadNextEvent: no sleeping and no
+// tail long-poll anywhere.
+func (r *Reader) readOnce() (Event, error) {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return Event{}, ErrReaderClosed
+	}
+	if err := r.maybeRebalance(); err != nil {
+		return Event{}, err
+	}
+	if ev, ok, err := r.popBuffered(); err != nil {
+		return Event{}, convertErr(err)
+	} else if ok {
+		return ev, nil
+	}
+	if seg := r.nextSegment(); seg != nil {
+		if err := r.fill(context.Background(), seg, 0); err != nil {
+			return Event{}, err
+		}
+		if ev, ok, err := r.popBuffered(); err != nil {
+			return Event{}, convertErr(err)
+		} else if ok {
+			return ev, nil
+		}
+	}
+	return Event{}, ErrNoEvent
+}
+
+// sleepCtx sleeps d or until ctx is done, returning ctx.Err() in the
+// latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
 	}
 }
 
@@ -246,6 +343,7 @@ func (r *Reader) popBuffered() (Event, bool, error) {
 			Segment: seg.rec.Number,
 			Offset:  evOffset,
 		}
+		mClientEventsRead.Inc()
 		return out, true, nil
 	}
 	return Event{}, false, nil
@@ -270,17 +368,14 @@ func (r *Reader) nextSegment() *ownedSegment {
 
 // fill fetches bytes for one segment, handling tail long-polls, truncation
 // jumps and end-of-segment completion. Far-behind cursors use large reads
-// so catch-up saturates the historical read path (§5.7).
-func (r *Reader) fill(seg *ownedSegment, maxWait time.Duration) error {
-	wait := 20 * time.Millisecond
-	if wait > maxWait {
-		wait = maxWait
-	}
+// so catch-up saturates the historical read path (§5.7). Cancelling ctx
+// unblocks a tail long-poll immediately; fill then returns ctx.Err().
+func (r *Reader) fill(ctx context.Context, seg *ownedSegment, wait time.Duration) error {
 	fetch := seg.fetch
 	if fetch <= 0 {
 		fetch = r.fetchBytes
 	}
-	res, err := r.rg.conn.Read(seg.rec.Qualified, seg.offset, fetch, wait)
+	res, err := r.rg.conn.ReadCtx(ctx, seg.rec.Qualified, seg.offset, fetch, wait)
 	// Self-adapting fetch size: full reads mean the cursor is behind, so
 	// escalate toward 1 MiB catch-up reads; short reads reset to the tail
 	// size.
@@ -301,7 +396,7 @@ func (r *Reader) fill(seg *ownedSegment, maxWait time.Duration) error {
 		// Retention moved the head; jump forward.
 		info, ierr := r.rg.conn.GetInfo(seg.rec.Qualified)
 		if ierr != nil {
-			return ierr
+			return convertErr(ierr)
 		}
 		r.mu.Lock()
 		seg.offset = info.StartOffset
@@ -310,7 +405,7 @@ func (r *Reader) fill(seg *ownedSegment, maxWait time.Duration) error {
 		r.mu.Unlock()
 		return nil
 	default:
-		return err
+		return convertErr(err)
 	}
 	if res.EndOfSegment {
 		// Finished this segment: tell the group and fetch successors
@@ -320,9 +415,9 @@ func (r *Reader) fill(seg *ownedSegment, maxWait time.Duration) error {
 		delete(r.owned, seg.rec.Qualified)
 		r.mu.Unlock()
 		if err := r.rg.completeSegment(seg.rec); err != nil {
-			return err
+			return convertErr(err)
 		}
-		return r.rebalance()
+		return convertErr(r.rebalance())
 	}
 	if len(res.Data) > 0 {
 		r.mu.Lock()

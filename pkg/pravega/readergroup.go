@@ -2,11 +2,13 @@ package pravega
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
 	"github.com/pravega-go/pravega/internal/hosting"
 	"github.com/pravega-go/pravega/internal/segment"
+	"github.com/pravega-go/pravega/internal/segstore"
 	"github.com/pravega-go/pravega/internal/statesync"
 )
 
@@ -127,17 +129,10 @@ func (s *System) NewReaderGroup(name, scope string, streams ...string) (*ReaderG
 	return rg, nil
 }
 
+// isExists reports whether err means "segment already exists" — joining an
+// existing group (or table) is not an error.
 func isExists(err error) bool {
-	return err != nil && (contains(err.Error(), "already exists"))
-}
-
-func contains(s, sub string) bool {
-	for i := 0; i+len(sub) <= len(s); i++ {
-		if s[i:i+len(sub)] == sub {
-			return true
-		}
-	}
-	return false
+	return errors.Is(err, segstore.ErrSegmentExists)
 }
 
 // rgBacking adapts a client connection to the state synchronizer.

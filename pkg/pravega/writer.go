@@ -1,6 +1,7 @@
 package pravega
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -60,6 +61,18 @@ func (f *WriteFuture) Wait() error {
 	return f.err
 }
 
+// WaitCtx blocks for the acknowledgement or until ctx is done, whichever
+// comes first. On cancellation it returns ctx.Err(); the write itself is
+// not revoked — the future still resolves and may be waited on again.
+func (f *WriteFuture) WaitCtx(ctx context.Context) error {
+	select {
+	case <-f.ch:
+		return f.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // Done returns a channel closed on acknowledgement.
 func (f *WriteFuture) Done() <-chan struct{} { return f.ch }
 
@@ -105,7 +118,7 @@ func (s *System) NewWriter(cfg WriterConfig) (*EventWriter, error) {
 	cfg.defaults()
 	segs, err := s.ctrl.GetActiveSegments(cfg.Scope, cfg.Stream)
 	if err != nil {
-		return nil, err
+		return nil, convertErr(err)
 	}
 	w := &EventWriter{
 		cfg:     cfg,
@@ -143,11 +156,12 @@ func (w *EventWriter) WriteEvent(routingKey string, event []byte) *WriteFuture {
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		f.complete(errors.New("pravega: writer closed"))
+		f.complete(ErrWriterClosed)
 		return f
 	}
 	w.enqueueLocked(pe)
 	w.mu.Unlock()
+	mClientEventsWritten.Inc()
 	return f
 }
 
@@ -173,6 +187,7 @@ func (w *EventWriter) observeRTT(d time.Duration) {
 	w.statMu.Lock()
 	w.rtt = time.Duration(float64(w.rtt)*(1-alpha) + float64(d)*alpha)
 	w.statMu.Unlock()
+	mClientRTTUs.RecordDuration(d)
 }
 
 // RTT returns the writer's current server round-trip estimate.
@@ -186,7 +201,30 @@ func (w *EventWriter) RTT() time.Duration {
 // segment seal during the flush re-routes events to successor segments, so
 // the flush loops until a full pass over all segment writers finds nothing
 // open, in flight, parked or awaiting re-route.
-func (w *EventWriter) Flush() error {
+func (w *EventWriter) Flush() error { return w.FlushCtx(context.Background()) }
+
+// FlushCtx is Flush with cancellation: it returns ctx.Err() as soon as ctx
+// is done. Cancellation abandons only the wait — in-flight events stay in
+// flight and their futures still resolve normally.
+func (w *EventWriter) FlushCtx(ctx context.Context) error {
+	// On cancellation, wake every flusher parked on a segment writer's
+	// condition variable. Broadcasting under each writer's lock pairs with
+	// the wait loop's ctx check below, so a wakeup cannot be lost between
+	// the check and the Wait.
+	stop := context.AfterFunc(ctx, func() {
+		w.mu.Lock()
+		sws := make([]*segmentWriter, 0, len(w.writers))
+		for _, sw := range w.writers {
+			sws = append(sws, sw)
+		}
+		w.mu.Unlock()
+		for _, sw := range sws {
+			sw.mu.Lock()
+			sw.flushCond.Broadcast()
+			sw.mu.Unlock()
+		}
+	})
+	defer stop()
 	for {
 		w.mu.Lock()
 		sws := make([]*segmentWriter, 0, len(w.writers))
@@ -199,13 +237,16 @@ func (w *EventWriter) Flush() error {
 		for _, sw := range sws {
 			sw.mu.Lock()
 			sw.trySendLocked()
-			for sw.inflight > 0 {
+			for sw.inflight > 0 && ctx.Err() == nil {
 				sw.flushCond.Wait()
 			}
 			if len(sw.batch) > 0 || len(sw.held) > 0 || len(sw.redirect) > 0 {
 				busy = true
 			}
 			sw.mu.Unlock()
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 		if !busy {
 			// Confirm no new segment writers appeared (seal resolution
@@ -225,7 +266,9 @@ func (w *EventWriter) Flush() error {
 				return nil
 			}
 		}
-		time.Sleep(time.Millisecond)
+		if err := sleepCtx(ctx, time.Millisecond); err != nil {
+			return err
+		}
 	}
 }
 
@@ -293,6 +336,7 @@ func (sw *segmentWriter) trySendLocked() {
 	if sw.inflight >= limit {
 		return
 	}
+	mClientBatchFillPct.Record(int64(sw.batchSize) * 100 / int64(sw.w.cfg.MaxBatchSize))
 	events := sw.batch
 	sw.batch = nil
 	sw.batchSize = 0
@@ -348,8 +392,9 @@ func (sw *segmentWriter) onBatchResult(events []pendingEvent, payload int64, r s
 			sw.resolveSeal()
 		}
 	default:
+		err := convertErr(r.Err)
 		for _, pe := range events {
-			pe.future.complete(r.Err)
+			pe.future.complete(err)
 		}
 		sw.mu.Lock()
 		sw.inflight--
@@ -377,7 +422,7 @@ func (sw *segmentWriter) resolveSeal() {
 	for {
 		succs, err := w.sys.ctrl.GetSuccessors(w.cfg.Scope, w.cfg.Stream, sw.seg.ID.Number)
 		if err != nil {
-			sw.failPending(err)
+			sw.failPending(convertErr(err))
 			return
 		}
 		if len(succs) > 0 {
@@ -385,18 +430,18 @@ func (sw *segmentWriter) resolveSeal() {
 		}
 		sealed, err := w.sys.ctrl.IsStreamSealed(w.cfg.Scope, w.cfg.Stream)
 		if err != nil {
-			sw.failPending(err)
+			sw.failPending(convertErr(err))
 			return
 		}
 		if sealed {
-			sw.failPending(fmt.Errorf("pravega: stream %s/%s is sealed", w.cfg.Scope, w.cfg.Stream))
+			sw.failPending(fmt.Errorf("%w: %s/%s", ErrStreamSealed, w.cfg.Scope, w.cfg.Stream))
 			return
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
 	segs, err := w.sys.ctrl.GetActiveSegments(w.cfg.Scope, w.cfg.Stream)
 	if err != nil {
-		sw.failPending(err)
+		sw.failPending(convertErr(err))
 		return
 	}
 	w.mu.Lock()

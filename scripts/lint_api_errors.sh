@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Guards the public API's error contract: pkg/pravega must surface sentinel
+# errors from pkg/pravega/errors.go, not leak internal sentinels. Direct
+# references to internal sentinels are allowed only in errors.go (the
+# mapping table), in tests, and in the flow-control sites listed below where
+# the client reacts to an internal condition rather than reporting it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist=(
+  "reader.go:.*segstore.ErrSegmentTruncated"   # retention jump, handled internally
+  "readergroup.go:.*segstore.ErrSegmentExists" # idempotent create-or-join
+  "writer.go:.*segstore.ErrSegmentSealed"      # scale re-route, handled internally
+)
+
+fail=0
+while IFS= read -r line; do
+  ok=0
+  for allowed in "${allowlist[@]}"; do
+    if [[ "$line" =~ $allowed ]]; then
+      ok=1
+      break
+    fi
+  done
+  if [[ $ok -eq 0 ]]; then
+    echo "lint_api_errors: new direct internal sentinel dependency: $line" >&2
+    fail=1
+  fi
+done < <(grep -n 'segstore\.Err\|controller\.Err\|wal\.Err' pkg/pravega/*.go \
+  | grep -v '^pkg/pravega/errors\.go:' \
+  | grep -v '_test\.go:' || true)
+
+if [[ $fail -ne 0 ]]; then
+  echo "lint_api_errors: map the sentinel in pkg/pravega/errors.go (convertErr) instead" >&2
+  exit 1
+fi
+echo "lint_api_errors: OK"
