@@ -50,8 +50,8 @@ func main() {
 
 	// Wait for the storage writer to tier everything to LTS; the WAL is
 	// truncated once data is safe in long-term storage (§4.3).
-	if !sys.Cluster().WaitForTiering(10 * time.Second) {
-		log.Fatal("tiering did not complete")
+	if err := sys.Cluster().WaitForTiering(10 * time.Second); err != nil {
+		log.Fatalf("tiering did not complete: %v", err)
 	}
 	var tiered int64
 	for _, st := range sys.Cluster().Stores() {

@@ -27,6 +27,21 @@ var (
 	ErrBookieDown   = errors.New("bookkeeper: bookie is down")
 )
 
+// Node is the bookie surface the ledger client depends on. The concrete
+// *Bookie implements it; fault-injection wrappers (internal/faultinject)
+// decorate one to fail appends, drop acknowledgements or reject fencing
+// while keeping the client's quorum logic untouched.
+type Node interface {
+	ID() string
+	IsDown() bool
+	AddEntry(ledgerID, entryID int64, data []byte, cb func(error))
+	ReadEntry(ledgerID, entryID int64) ([]byte, error)
+	Fence(ledgerID int64) (lastEntry int64, err error)
+	DeleteLedger(ledgerID int64) error
+}
+
+var _ Node = (*Bookie)(nil)
+
 // BookieConfig parameterizes one storage server.
 type BookieConfig struct {
 	// ID names the bookie.

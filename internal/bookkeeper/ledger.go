@@ -60,7 +60,7 @@ type LedgerMetadata struct {
 // Client creates and opens ledgers against a set of bookies.
 type Client struct {
 	mu      sync.Mutex
-	bookies map[string]*Bookie
+	bookies map[string]Node
 	links   map[string]*sim.Link // request path to each bookie
 	meta    *cluster.Store
 	root    string
@@ -90,7 +90,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		return nil, err
 	}
 	return &Client{
-		bookies: make(map[string]*Bookie),
+		bookies: make(map[string]Node),
 		links:   make(map[string]*sim.Link),
 		meta:    cfg.Meta,
 		root:    cfg.MetaRoot,
@@ -98,8 +98,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}, nil
 }
 
-// RegisterBookie makes a bookie available for new ensembles.
-func (c *Client) RegisterBookie(b *Bookie) {
+// RegisterBookie makes a bookie available for new ensembles. Registering a
+// node with an existing id replaces it (fault wrappers swap themselves in).
+func (c *Client) RegisterBookie(b Node) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.bookies[b.ID()] = b
@@ -118,7 +119,7 @@ func (c *Client) Bookies() []string {
 	return out
 }
 
-func (c *Client) bookie(id string) (*Bookie, *sim.Link, error) {
+func (c *Client) bookie(id string) (Node, *sim.Link, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	b, ok := c.bookies[id]
@@ -195,11 +196,12 @@ type LedgerHandle struct {
 	client *Client
 	md     LedgerMetadata
 
-	mu     sync.Mutex
-	next   int64
-	lac    int64 // last add confirmed
-	closed bool
-	err    error // sticky error after a failed append
+	mu      sync.Mutex
+	next    int64
+	lac     int64 // last add confirmed
+	closed  bool
+	err     error // sticky error after a failed append
+	pending sync.WaitGroup
 }
 
 // ID returns the ledger id.
@@ -237,6 +239,7 @@ func (h *LedgerHandle) AppendAsync(data []byte, cb func(int64, error)) {
 	}
 	entryID := h.next
 	h.next++
+	h.pending.Add(1)
 	h.mu.Unlock()
 
 	rep := h.md.Replication
@@ -269,6 +272,7 @@ func (h *LedgerHandle) AppendAsync(data []byte, cb func(int64, error)) {
 					if fails > rep.WriteQuorum-rep.AckQuorum {
 						done = true
 						h.setErr(err)
+						h.pending.Done()
 						cb(-1, err)
 					}
 					return
@@ -277,6 +281,7 @@ func (h *LedgerHandle) AppendAsync(data []byte, cb func(int64, error)) {
 				if acks >= rep.AckQuorum {
 					done = true
 					h.advanceLAC(entryID)
+					h.pending.Done()
 					cb(entryID, nil)
 				}
 			})
@@ -292,6 +297,7 @@ func (h *LedgerHandle) fail(entryID int64, err error, cb func(int64, error), mu 
 	}
 	*done = true
 	h.setErr(err)
+	h.pending.Done()
 	cb(-1, err)
 }
 
@@ -323,7 +329,11 @@ func (h *LedgerHandle) Append(data []byte) (int64, error) {
 	return r.id, r.err
 }
 
-// Close seals the ledger, recording its final length in metadata.
+// Close seals the ledger, recording its final length in metadata. It first
+// waits for in-flight adds to settle: appends are pipelined, so an entry can
+// reach its ack quorum after Close is called (the WAL rolls over while acks
+// are outstanding), and sealing with the instantaneous LAC would make that
+// acked entry invisible to replay — silent data loss on recovery.
 func (h *LedgerHandle) Close() error {
 	h.mu.Lock()
 	if h.closed {
@@ -331,6 +341,10 @@ func (h *LedgerHandle) Close() error {
 		return nil
 	}
 	h.closed = true
+	h.mu.Unlock()
+
+	h.pending.Wait()
+	h.mu.Lock()
 	last := h.lac
 	h.mu.Unlock()
 

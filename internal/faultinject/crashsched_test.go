@@ -1,0 +1,51 @@
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestRandomCrashSchedules runs many independent randomized fault schedules
+// (the acceptance bar is ≥100): each seed drives a single-container cluster
+// through appends, seals, truncates, reads and checkpoints while crash
+// plans, LTS faults (failed/partial/misordered writes, failed creates) and
+// bookie faults (failed adds, dropped acks) are armed at random. Every
+// ambiguous failure crash-recovers the container and re-verifies full
+// recovery equivalence against the oracle plus the chunk/WAL invariants.
+//
+// Seeds are fixed (base + index) so failures reproduce; override the base
+// with PRAVEGA_FAULT_BASE_SEED. `-short` runs a 10-seed smoke subset.
+func TestRandomCrashSchedules(t *testing.T) {
+	base := int64(20260806)
+	if s := os.Getenv("PRAVEGA_FAULT_BASE_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("PRAVEGA_FAULT_BASE_SEED %q: %v", s, err)
+		}
+		base = v
+	}
+	n := 100
+	if testing.Short() {
+		n = 10
+	}
+	for i := 0; i < n; i++ {
+		seed := base + int64(i)
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			t.Parallel()
+			h := NewHarness(t, HarnessConfig{
+				Seed:             seed,
+				Ops:              120,
+				Segments:         3,
+				CrashEvery:       20,
+				LTSFaultEvery:    10,
+				BookieFaultEvery: 25,
+			})
+			defer h.Close()
+			h.Run()
+			t.Logf("seed %d: %d ops, %d faults injected, %d crashes, %d recoveries",
+				seed, h.cfg.Ops, h.Injected(), h.Crashes, h.Recovered)
+		})
+	}
+}

@@ -1,0 +1,531 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/bookkeeper"
+	"github.com/pravega-go/pravega/internal/hosting"
+	"github.com/pravega-go/pravega/internal/lts"
+	"github.com/pravega-go/pravega/internal/segstore"
+)
+
+// newManualCluster builds a 1-container cluster whose background tiering is
+// effectively disabled (huge flush size, hour-long intervals) so tests
+// control exactly when flushes and checkpoints happen. Chunk size is 1 KiB
+// to force multi-chunk flush rounds from small payloads.
+func newManualCluster(t *testing.T, store lts.ChunkStorage, hooks *segstore.Hooks) (*hosting.Cluster, *segstore.Container, []*FaultyBookie) {
+	t.Helper()
+	var fbs []*FaultyBookie
+	cl, err := hosting.NewCluster(hosting.ClusterConfig{
+		Stores:             1,
+		ContainersPerStore: 1,
+		Bookies:            3,
+		LTS:                store,
+		Container: segstore.ContainerConfig{
+			FlushSizeBytes:     1 << 30,
+			FlushInterval:      time.Hour,
+			ChunkSizeLimit:     1024,
+			CheckpointInterval: time.Hour,
+			MaxUnflushedBytes:  1 << 30,
+			Hooks:              hooks,
+		},
+		WrapBookie: func(n bookkeeper.Node) bookkeeper.Node {
+			fb := NewFaultyBookie(n)
+			fbs = append(fbs, fb)
+			return fb
+		},
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	c, err := cl.Stores()[0].ContainerByID(0)
+	if err != nil {
+		t.Fatalf("container: %v", err)
+	}
+	return cl, c, fbs
+}
+
+func mustAppend(t *testing.T, c *segstore.Container, seg string, data []byte, writer string, num int64) {
+	t.Helper()
+	if _, err := c.Append(seg, data, writer, num, 1); err != nil {
+		t.Fatalf("append %s event %d: %v", seg, num, err)
+	}
+}
+
+func readBack(t *testing.T, c *segstore.Container, seg string, from, to int64) []byte {
+	t.Helper()
+	var out []byte
+	for off := from; off < to; {
+		res, err := c.Read(seg, off, 64<<10, 0)
+		if err != nil {
+			t.Fatalf("read %s@%d: %v", seg, off, err)
+		}
+		if len(res.Data) == 0 {
+			t.Fatalf("read %s@%d: stalled before %d", seg, off, to)
+		}
+		out = append(out, res.Data...)
+		off += int64(len(res.Data))
+	}
+	return out
+}
+
+func assertLayout(t *testing.T, c *segstore.Container, mem *lts.Memory, seg string, wantLen int64) {
+	t.Helper()
+	if err := CheckContainer(c, mem); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	d, ok := c.DebugState()[seg]
+	if !ok {
+		t.Fatalf("segment %s missing from debug state", seg)
+	}
+	var sum int64
+	for _, ch := range d.Chunks {
+		if ch.StartOffset != sum {
+			t.Fatalf("chunk %s starts at %d, want %d (overlap or gap)", ch.Name, ch.StartOffset, sum)
+		}
+		sum += ch.Length
+	}
+	if sum != d.StorageLength {
+		t.Fatalf("chunks cover %d bytes, storageLength is %d", sum, d.StorageLength)
+	}
+	if d.StorageLength != wantLen {
+		t.Fatalf("storageLength %d, want %d", d.StorageLength, wantLen)
+	}
+}
+
+// TestMidFlushFailureNoDuplication is the acceptance regression: an LTS
+// write failure in the middle of a multi-chunk flush round, followed by a
+// retry, must not duplicate the bytes the round had already tiered. Before
+// incremental retirement the retry re-flushed the whole batch from the
+// queue head, double-counting the committed prefix in storageLength and
+// corrupting the chunk layout.
+func TestMidFlushFailureNoDuplication(t *testing.T) {
+	mem := lts.NewMemory()
+	flts := NewFaultyLTS(mem)
+	_, c, _ := newManualCluster(t, flts, nil)
+
+	const seg = "scope/s/dup"
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	payload := make([]byte, 5000) // 5 chunks at the 1 KiB limit
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	mustAppend(t, c, seg, payload, "w", 1)
+
+	// Second chunk write of the round fails after the first committed.
+	flts.AddRule(LTSRule{Op: LTSWrite, Nth: 2, Count: 1})
+
+	err := c.FlushAll()
+	if err == nil {
+		t.Fatal("flush with injected LTS failure unexpectedly succeeded")
+	}
+	if !errors.Is(err, lts.ErrUnavailable) {
+		t.Fatalf("flush error should wrap the LTS cause, got: %v", err)
+	}
+	// Mid-failure the layout must already be consistent: the committed
+	// first chunk retired from the queue, watermark == chunk cover.
+	if cerr := CheckContainer(c, mem); cerr != nil {
+		t.Fatalf("invariants after failed round: %v", cerr)
+	}
+
+	// The retry must tier the remainder exactly once.
+	if err := c.FlushAll(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	assertLayout(t, c, mem, seg, int64(len(payload)))
+	if got := readBack(t, c, seg, 0, int64(len(payload))); !bytes.Equal(got, payload) {
+		t.Fatal("read-back differs from acked payload after mid-flush failure + retry")
+	}
+	if flts.Injected() == 0 {
+		t.Fatal("fault rule never fired; test exercised nothing")
+	}
+}
+
+// TestPartialWriteReconciled: LTS persists a prefix of a chunk write and
+// then reports failure. The flusher must probe the chunk's actual length,
+// adopt the persisted prefix, and resume after it — no re-write of the
+// prefix (deterministic chunk content makes adoption safe), no gap.
+func TestPartialWriteReconciled(t *testing.T) {
+	mem := lts.NewMemory()
+	flts := NewFaultyLTS(mem)
+	_, c, _ := newManualCluster(t, flts, nil)
+
+	const seg = "scope/s/partial"
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	mustAppend(t, c, seg, payload, "w", 1)
+
+	flts.AddRule(LTSRule{Op: LTSWrite, Nth: 2, Count: 1, PartialBytes: 300})
+
+	if err := c.FlushAll(); err == nil {
+		t.Fatal("flush with injected partial write unexpectedly succeeded")
+	}
+	// The 300 persisted bytes must be committed, not forgotten: the second
+	// chunk records exactly the prefix LTS kept.
+	d := c.DebugState()[seg]
+	if len(d.Chunks) < 2 || d.Chunks[1].Length != 300 {
+		t.Fatalf("partial write not reconciled: chunks %+v", d.Chunks)
+	}
+	if cerr := CheckContainer(c, mem); cerr != nil {
+		t.Fatalf("invariants after partial write: %v", cerr)
+	}
+
+	if err := c.FlushAll(); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	assertLayout(t, c, mem, seg, int64(len(payload)))
+	if got := readBack(t, c, seg, 0, int64(len(payload))); !bytes.Equal(got, payload) {
+		t.Fatal("read-back differs after partial-write reconciliation")
+	}
+}
+
+// TestOrphanChunkAdoption: crash after the LTS chunk object is created but
+// before any metadata references it. Recovery must adopt the orphan under
+// its deterministic name instead of colliding with ErrChunkExists forever.
+func TestOrphanChunkAdoption(t *testing.T) {
+	mem := lts.NewMemory()
+	inj := NewInjector()
+	cl, c, _ := newManualCluster(t, mem, inj.Hooks())
+
+	const seg = "scope/s/orphan"
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	payload := make([]byte, 700)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	mustAppend(t, c, seg, payload, "w", 1)
+
+	plan := &CrashPlan{Point: PointAfterChunkCreate, Nth: 1}
+	inj.Arm(plan)
+	if err := c.FlushAll(); err == nil {
+		t.Fatal("flush across scripted crash unexpectedly succeeded")
+	}
+	if !plan.Fired() {
+		t.Fatal("crash plan at after-chunk-create never fired")
+	}
+	if mem.ChunkCount() != 1 {
+		t.Fatalf("expected exactly the orphan chunk in LTS, have %d", mem.ChunkCount())
+	}
+
+	if err := cl.CrashContainer(0); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if err := cl.RestartContainer(0, 0); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	c2, err := cl.Stores()[0].ContainerByID(0)
+	if err != nil {
+		t.Fatalf("container after restart: %v", err)
+	}
+	if err := c2.FlushAll(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	if mem.ChunkCount() != 1 {
+		t.Fatalf("orphan not adopted: %d chunks in LTS, want 1", mem.ChunkCount())
+	}
+	assertLayout(t, c2, mem, seg, int64(len(payload)))
+	if got := readBack(t, c2, seg, 0, int64(len(payload))); !bytes.Equal(got, payload) {
+		t.Fatal("read-back differs after orphan-chunk adoption")
+	}
+}
+
+// TestCheckpointDoesNotDropUntieredTail: a checkpoint taken while acked
+// data is still un-tiered must not let recovery lose that data — replay has
+// to restore the tail even though the checkpoint's storageLength is behind.
+func TestCheckpointDoesNotDropUntieredTail(t *testing.T) {
+	h := NewHarness(t, HarnessConfig{Seed: 7, Segments: 1})
+	defer h.Close()
+	seg := h.segs[0]
+	m := h.model[seg]
+
+	// Keep LTS down so nothing tiers, then checkpoint with a backlog.
+	h.flts.AddRule(LTSRule{Op: LTSWrite, Count: -1})
+	h.flts.AddRule(LTSRule{Op: LTSCreate, Count: -1})
+	for i := 0; i < 10; i++ {
+		h.stepAppend(seg, m)
+	}
+	h.mustRetry("checkpoint", func() error { return h.container().Checkpoint() })
+
+	h.recoverAndVerify("scripted crash with un-tiered checkpointed backlog")
+	h.flts.Reset()
+	h.drain()
+}
+
+// TestAdoptionAfterWALTruncation: recovery adoption must retire queued
+// bytes by offset, not by adopted count. The scenario: a checkpoint whose
+// snapshot predates a flush, the flush tiers those bytes and truncates
+// their WAL ledgers, then a later acked append and a crash. Replay restores
+// the stale checkpoint watermark and re-queues only the later append (the
+// tiered entries are gone from the WAL); adoption heals the watermark from
+// the chunks. A count-based retire here ate the head of the still-unflushed
+// append — acked data loss.
+func TestAdoptionAfterWALTruncation(t *testing.T) {
+	mem := lts.NewMemory()
+	var fbs []*FaultyBookie
+	cl, err := hosting.NewCluster(hosting.ClusterConfig{
+		Stores:             1,
+		ContainersPerStore: 1,
+		Bookies:            3,
+		LTS:                mem,
+		Container: segstore.ContainerConfig{
+			FlushSizeBytes:     1 << 30,
+			FlushInterval:      time.Hour,
+			ChunkSizeLimit:     1024,
+			CheckpointInterval: time.Hour,
+			MaxUnflushedBytes:  1 << 30,
+			WALRolloverBytes:   64, // a ledger per frame: truncation is fine-grained
+		},
+		WrapBookie: func(n bookkeeper.Node) bookkeeper.Node {
+			fb := NewFaultyBookie(n)
+			fbs = append(fbs, fb)
+			return fb
+		},
+	})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	c, err := cl.Stores()[0].ContainerByID(0)
+	if err != nil {
+		t.Fatalf("container: %v", err)
+	}
+
+	const seg = "scope/s/trunc"
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	payload := make([]byte, 1900)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	a, b, tail := payload[:1000], payload[1000:1500], payload[1500:]
+
+	mustAppend(t, c, seg, a, "w", 1)
+	if err := c.FlushAll(); err != nil {
+		t.Fatalf("flush a: %v", err)
+	}
+	mustAppend(t, c, seg, b, "w", 2)
+	d := c.DebugState()[seg]
+	if !d.HasUnflushed {
+		t.Fatal("expected b un-tiered before the checkpoint")
+	}
+	bSeq := d.LowestUnflushedAddr.LedgerSeq
+	// Snapshot predates b's flush; the checkpoint frame lands in a later
+	// ledger than b's entry thanks to the tiny rollover threshold.
+	if err := c.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatalf("flush b: %v", err)
+	}
+	if tb := c.WALTruncatedBefore(); tb <= bSeq {
+		t.Fatalf("WAL truncation did not release b's ledger: truncated before %d, b at %d", tb, bSeq)
+	}
+	mustAppend(t, c, seg, tail, "w", 3)
+
+	if err := cl.CrashContainer(0); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if err := cl.RestartContainer(0, 0); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	c2, err := cl.Stores()[0].ContainerByID(0)
+	if err != nil {
+		t.Fatalf("container after restart: %v", err)
+	}
+	if err := CheckContainer(c2, mem); err != nil {
+		t.Fatalf("invariants after recovery: %v", err)
+	}
+	d = c2.DebugState()[seg]
+	if !d.HasUnflushed || d.UnflushedStart != 1500 {
+		t.Fatalf("acked tail lost by adoption retire: hasUnflushed=%v start=%d, want queue at 1500",
+			d.HasUnflushed, d.UnflushedStart)
+	}
+	if err := c2.FlushAll(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	assertLayout(t, c2, mem, seg, int64(len(payload)))
+	if got := readBack(t, c2, seg, 0, int64(len(payload))); !bytes.Equal(got, payload) {
+		t.Fatal("read-back differs after recovery")
+	}
+}
+
+// TestCrashAtEachPoint drives the workload into every scripted crash point,
+// restarts, and asserts full recovery equivalence plus the chunk/WAL
+// invariants.
+func TestCrashAtEachPoint(t *testing.T) {
+	for _, pt := range AllPoints {
+		t.Run(string(pt), func(t *testing.T) {
+			h := NewHarness(t, HarnessConfig{Seed: 42, Segments: 2})
+			defer h.Close()
+			for i := 0; i < 6; i++ {
+				seg := h.segs[i%len(h.segs)]
+				h.stepAppend(seg, h.model[seg])
+			}
+			plan := &CrashPlan{Point: pt, Nth: 1}
+			h.inj.Arm(plan)
+			deadline := time.Now().Add(20 * time.Second)
+			for !plan.Fired() {
+				if time.Now().After(deadline) {
+					t.Fatalf("crash point %s never fired", pt)
+				}
+				seg := h.segs[0]
+				h.stepAppend(seg, h.model[seg])
+				h.mustRetry("flush", func() error { return h.container().FlushAll() })
+				h.mustRetry("checkpoint", func() error { return h.container().Checkpoint() })
+			}
+			h.recoverAndVerify("scripted crash at " + string(pt))
+			h.drain()
+		})
+	}
+}
+
+// TestBookieFaultsWithinQuorum: failed adds and dropped acks confined to one
+// bookie stay inside the 3/3/2 ack-quorum tolerance — appends succeed with
+// no recovery needed.
+func TestBookieFaultsWithinQuorum(t *testing.T) {
+	h := NewHarness(t, HarnessConfig{Seed: 11, Segments: 1})
+	defer h.Close()
+	seg := h.segs[0]
+	m := h.model[seg]
+
+	h.bookies[0].AddRule(BookieRule{Op: BookieAdd, Count: 4})
+	for i := 0; i < 5; i++ {
+		h.stepAppend(seg, m)
+	}
+	h.bookies[0].Reset()
+	h.bookies[1].AddRule(BookieRule{Op: BookieAdd, Count: 4, DropAck: true})
+	for i := 0; i < 5; i++ {
+		h.stepAppend(seg, m)
+	}
+	if h.Crashes != 0 {
+		t.Fatalf("faults within quorum tolerance forced %d recoveries, want 0", h.Crashes)
+	}
+	if h.bookies[0].Injected() == 0 || h.bookies[1].Injected() == 0 {
+		t.Fatal("bookie fault rules never fired")
+	}
+	h.verify("bookie faults within quorum")
+	h.drain()
+}
+
+// TestBookieQuorumLoss: simultaneous add failures on two bookies exceed
+// WriteQuorum−AckQuorum, so the append fails; the client-side retry with the
+// same writerID/eventNum must land the event exactly once.
+func TestBookieQuorumLoss(t *testing.T) {
+	h := NewHarness(t, HarnessConfig{Seed: 13, Segments: 1})
+	defer h.Close()
+	seg := h.segs[0]
+	m := h.model[seg]
+
+	h.stepAppend(seg, m) // healthy baseline
+	// Overlapping failure windows on two bookies guarantee some entry sees
+	// two failed adds — beyond WriteQuorum−AckQuorum.
+	h.bookies[0].AddRule(BookieRule{Op: BookieAdd, Count: 6})
+	h.bookies[1].AddRule(BookieRule{Op: BookieAdd, Count: 6})
+	h.stepAppend(seg, m) // fails, recovers, retries
+	if h.Crashes == 0 {
+		t.Fatal("quorum loss did not force a recovery")
+	}
+	h.verify("after quorum loss")
+	h.drain()
+}
+
+// TestFenceFaultDuringRecovery: ledger recovery itself hits an injected
+// fence failure; once the fault clears, restart succeeds and no acked data
+// is lost.
+func TestFenceFaultDuringRecovery(t *testing.T) {
+	h := NewHarness(t, HarnessConfig{Seed: 17, Segments: 1})
+	defer h.Close()
+	seg := h.segs[0]
+	m := h.model[seg]
+	for i := 0; i < 5; i++ {
+		h.stepAppend(seg, m)
+	}
+	h.bookies[0].AddRule(BookieRule{Op: BookieFence, Count: 2})
+	h.recoverAndVerify("crash with fence fault armed")
+	if h.Recovered == 0 {
+		t.Fatal("container never recovered")
+	}
+	h.drain()
+}
+
+// TestFlushErrorSurfaced: while LTS is persistently down, FlushAll,
+// LastFlushError and hosting.WaitForTiering must all surface the underlying
+// cause instead of failing silently (satellite 3).
+func TestFlushErrorSurfaced(t *testing.T) {
+	h := NewHarness(t, HarnessConfig{Seed: 19, Segments: 1})
+	defer h.Close()
+	seg := h.segs[0]
+	m := h.model[seg]
+
+	h.flts.AddRule(LTSRule{Op: LTSWrite, Count: -1})
+	h.flts.AddRule(LTSRule{Op: LTSCreate, Count: -1})
+	for i := 0; i < 6; i++ {
+		h.stepAppend(seg, m)
+	}
+
+	if err := h.container().FlushAll(); err == nil {
+		t.Fatal("FlushAll against a down LTS returned nil")
+	} else if !errors.Is(err, lts.ErrUnavailable) {
+		t.Fatalf("FlushAll error does not wrap the LTS cause: %v", err)
+	}
+	if h.container().LastFlushError() == nil {
+		t.Fatal("LastFlushError is nil while tiering is failing")
+	}
+	if err := h.cl.WaitForTiering(50 * time.Millisecond); err == nil {
+		t.Fatal("WaitForTiering against a down LTS returned nil")
+	} else if !errors.Is(err, lts.ErrUnavailable) {
+		t.Fatalf("WaitForTiering error does not wrap the LTS cause: %v", err)
+	}
+
+	h.flts.Reset()
+	h.drain()
+	if err := h.container().LastFlushError(); err != nil {
+		t.Fatalf("LastFlushError not cleared after clean round: %v", err)
+	}
+	if err := h.container().LastTruncateError(); err != nil {
+		t.Fatalf("LastTruncateError after drain: %v", err)
+	}
+	if err := h.cl.WaitForTiering(5 * time.Second); err != nil {
+		t.Fatalf("WaitForTiering after recovery: %v", err)
+	}
+}
+
+// TestLatencyFaultIsHarmless: latency-only rules delay but never fail;
+// everything drains and verifies.
+func TestLatencyFaultIsHarmless(t *testing.T) {
+	h := NewHarness(t, HarnessConfig{Seed: 23, Segments: 1})
+	defer h.Close()
+	seg := h.segs[0]
+	m := h.model[seg]
+	h.flts.AddRule(LTSRule{Op: LTSWrite, Count: 5, Delay: 3 * time.Millisecond})
+	for i := 0; i < 8; i++ {
+		h.stepAppend(seg, m)
+	}
+	h.verify("latency faults")
+	h.drain()
+	if h.Crashes != 0 {
+		t.Fatalf("latency-only faults forced %d recoveries, want 0", h.Crashes)
+	}
+}
+
+func ExampleCrashPlan() {
+	inj := NewInjector()
+	inj.Arm(&CrashPlan{Point: PointBeforeFlushRetire, Nth: 2})
+	fmt.Println(inj.Armed().Fired())
+	// Output: false
+}

@@ -1,0 +1,15 @@
+package faultinject
+
+import "github.com/pravega-go/pravega/internal/obs"
+
+// Fault counters: injected faults are observable like any other event, so a
+// fault run's metrics dump shows what was injected alongside what the
+// system did about it (reconciled bytes, truncate retries, ...).
+var (
+	mLTSFaults = obs.Default().Counter("pravega_fault_lts_total",
+		"Faults injected into the long-term storage layer")
+	mBookieFaults = obs.Default().Counter("pravega_fault_bookie_total",
+		"Faults injected into bookies (failed adds, dropped acks, fence errors)")
+	mCrashesInjected = obs.Default().Counter("pravega_fault_crashes_total",
+		"Scripted container crashes triggered at pipeline crash points")
+)

@@ -46,8 +46,15 @@ type ClusterConfig struct {
 	// a Sim-wrapped NoOp store when Profile is set).
 	LTS lts.ChunkStorage
 	// Container overrides container tuning fields (ID/BK/Meta/LTS/
-	// Replication are filled in by the cluster).
+	// Replication are filled in by the cluster). Container.Hooks, when set,
+	// flows into every hosted container — including ones started later via
+	// RestartContainer — which is how fault-injection schedules persist
+	// across crash/restart cycles.
 	Container segstore.ContainerConfig
+	// WrapBookie, when non-nil, decorates each bookie before it is
+	// registered with the ledger client (fault injection: failed appends,
+	// dropped acks, fencing errors).
+	WrapBookie func(bookkeeper.Node) bookkeeper.Node
 }
 
 func (c *ClusterConfig) defaults() {
@@ -114,7 +121,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		b := bookkeeper.NewBookie(bcfg)
 		cl.bookies = append(cl.bookies, b)
-		bk.RegisterBookie(b)
+		var node bookkeeper.Node = b
+		if cfg.WrapBookie != nil {
+			node = cfg.WrapBookie(b)
+		}
+		bk.RegisterBookie(node)
 	}
 
 	cl.LTS = cfg.LTS
@@ -279,6 +290,21 @@ func (cl *Cluster) LoadByStore() map[string]float64 {
 	return out
 }
 
+// CrashContainer abruptly stops one container wherever it is hosted (fault
+// injection): no flush, no checkpoint, claim released, WAL handle left open
+// for the next instance to fence. Restart it with RestartContainer.
+func (cl *Cluster) CrashContainer(containerID int) error {
+	si, ok := cl.containerHome[containerID]
+	if !ok {
+		return fmt.Errorf("hosting: container %d has no home", containerID)
+	}
+	if err := cl.stores[si].CrashContainer(containerID); err != nil {
+		return err
+	}
+	delete(cl.containerHome, containerID)
+	return nil
+}
+
 // RestartContainer simulates recovery of a crashed container on a given
 // store (tests). The container must not be running anywhere.
 func (cl *Cluster) RestartContainer(storeIdx, containerID int) error {
@@ -293,8 +319,11 @@ func (cl *Cluster) RestartContainer(storeIdx, containerID int) error {
 }
 
 // WaitForTiering blocks until every container has no un-tiered backlog or
-// the timeout elapses (tests, figures).
-func (cl *Cluster) WaitForTiering(timeout time.Duration) bool {
+// the timeout elapses. On timeout the returned error wraps the first
+// container-level flush error it finds, so a persistently failing LTS
+// surfaces its cause instead of a silent deadline (§4.3 backpressure is
+// meant to be observable).
+func (cl *Cluster) WaitForTiering(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		pending := int64(0)
@@ -308,9 +337,20 @@ func (cl *Cluster) WaitForTiering(timeout time.Duration) bool {
 			}
 		}
 		if pending == 0 {
-			return true
+			return nil
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	return false
+	for _, st := range cl.stores {
+		for _, id := range st.HostedContainers() {
+			c, err := st.ContainerByID(id)
+			if err != nil {
+				continue
+			}
+			if ferr := c.LastFlushError(); ferr != nil {
+				return fmt.Errorf("hosting: tiering did not drain within %v: %w", timeout, ferr)
+			}
+		}
+	}
+	return fmt.Errorf("hosting: tiering did not drain within %v", timeout)
 }

@@ -183,8 +183,8 @@ func TestLTSOutageThrottlesAndRecovers(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("writer still stuck after LTS recovery")
 	}
-	if !cl.WaitForTiering(10 * time.Second) {
-		t.Fatal("backlog never drained after recovery")
+	if err := cl.WaitForTiering(10 * time.Second); err != nil {
+		t.Fatalf("backlog never drained after recovery: %v", err)
 	}
 }
 

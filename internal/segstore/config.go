@@ -49,6 +49,10 @@ type ContainerConfig struct {
 	// (default 1 s).
 	CheckpointInterval time.Duration
 
+	// Hooks exposes deterministic crash points inside the pipeline for
+	// fault-injection tests (internal/faultinject). Nil in production.
+	Hooks *Hooks
+
 	// LoadWindow and LoadSlots configure the per-segment rate meters that
 	// feed auto-scaling reports (§3.1).
 	LoadWindow time.Duration

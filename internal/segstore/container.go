@@ -53,11 +53,14 @@ type segState struct {
 }
 
 // chunkMeta locates one LTS chunk of a segment (§4.3). The list is ordered
-// and the chunks are non-overlapping and contiguous.
+// and the chunks are non-overlapping and contiguous. Pending marks a
+// provisional entry whose LTS object has not been confirmed yet; pending
+// entries are never checkpointed and never served to readers.
 type chunkMeta struct {
 	Name        string `json:"name"`
 	StartOffset int64  `json:"startOffset"`
 	Length      int64  `json:"length"`
+	Pending     bool   `json:"-"`
 }
 
 // checkpointState is the serialized container metadata snapshot (§4.4).
@@ -85,11 +88,13 @@ type Container struct {
 	down     bool
 	downErr  error
 	downFlag atomic.Bool // mirrors down for lock-free checks
+	crashed  atomic.Bool // abrupt stop: skip apply/flush side effects
 
 	// Operation pipeline.
-	opQueue chan *pendingOp
-	stop    chan struct{}
-	wg      sync.WaitGroup
+	opQueue  chan *pendingOp
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 
 	// Frame completion: WAL callbacks enqueue acknowledged frames here and
 	// kick the single applier goroutine, which reorders by frame sequence
@@ -105,7 +110,10 @@ type Container struct {
 	recentLatency time.Duration
 	avgWriteSize  float64
 
-	// Storage-writer bookkeeping.
+	// Storage-writer bookkeeping. flushRunMu serializes tiering rounds:
+	// the background ticker, size-based kicks and FlushAll callers must not
+	// interleave within one segment's flush (see activeChunk).
+	flushRunMu       sync.Mutex
 	flushMu          sync.Mutex
 	flushCond        *sync.Cond
 	unflushedBytes   int64
@@ -113,6 +121,7 @@ type Container struct {
 	hasCheckpoint    bool
 	flushKick        chan struct{}
 	lastFlushErr     error
+	lastTruncateErr  error
 	throttleWaits    metrics.Counter
 	framesWritten    metrics.Counter
 	bytesWritten     metrics.Counter
@@ -215,8 +224,14 @@ func (c *Container) recover() error {
 		c.hasCheckpoint = true
 		c.flushMu.Unlock()
 	}
-	start := lastCP + 1
-	for i := start; i < len(entries); i++ {
+	// Replay the WHOLE retained log, not just the entries after the last
+	// checkpoint: a checkpoint snapshots applied state, but append data that
+	// was applied yet not tiered at snapshot time lives only in entries at
+	// or before the checkpoint frame (the WAL retains them for exactly this
+	// reason, §4.3). applyRecovered trims each append against the restored
+	// storage watermark, so tiered prefixes are skipped and un-tiered tails
+	// are re-queued for flushing.
+	for i := 0; i < len(entries); i++ {
 		for j := range decoded[i] {
 			c.applyRecovered(&decoded[i][j], entries[i].Addr)
 		}
@@ -227,6 +242,7 @@ func (c *Container) recover() error {
 		s.pendingLength = s.length
 	}
 	c.mu.Unlock()
+	c.reconcileStorage()
 	return nil
 }
 
@@ -238,6 +254,9 @@ func (c *Container) restoreCheckpoint(data []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for name, cs := range cp.Segments {
+		if err := validateChunks(name, cs.Chunks, cs.StorageLength); err != nil {
+			return fmt.Errorf("segstore: corrupt checkpoint: %w", err)
+		}
 		s := c.newSegState(name)
 		s.sealed = cs.Sealed
 		s.length = cs.Length
@@ -269,16 +288,17 @@ func (c *Container) applyRecovered(op *Operation, addr wal.Address) {
 			return
 		}
 		end := op.Offset + int64(len(op.Data))
-		if end <= s.length && op.Offset < s.storageLength {
-			// Fully superseded by checkpointed state.
+		if end <= s.storageLength {
+			// Every byte is already tiered: only the writer-dedup
+			// attribute still matters.
 			c.applyWriterAttrLocked(s, op)
 			return
 		}
-		if op.Offset < s.length {
-			// Partially applied before checkpoint — replay only the tail.
-			cut := s.length - op.Offset
+		if op.Offset < s.storageLength {
+			// Prefix already tiered — replay only the un-tiered tail.
+			cut := s.storageLength - op.Offset
 			op.Data = op.Data[cut:]
-			op.Offset = s.length
+			op.Offset = s.storageLength
 		}
 		c.applyAppendLocked(s, op, addr)
 		c.flushMu.Lock()
@@ -389,52 +409,58 @@ func (c *Container) applyTruncateLocked(s *segState, at int64) {
 
 // failAll shuts the container down after a severe error (§4.4): every
 // queued and future operation fails; the caller is expected to restart the
-// container, triggering recovery.
+// container, triggering recovery. The stop is abrupt (crash semantics):
+// remaining durable-but-unapplied frames are not applied — recovery replays
+// them from the WAL.
 func (c *Container) failAll(err error) {
+	c.markDown(err, true)
+}
+
+// markDown transitions the container to the down state. With crash=true the
+// stop is abrupt: pipeline stages skip further side effects and the WAL
+// handle is left open for the next instance to fence. It never blocks, so
+// it is safe to call from container-internal goroutines.
+func (c *Container) markDown(err error, crash bool) {
 	c.mu.Lock()
-	if c.down {
-		c.mu.Unlock()
-		return
+	if !c.down {
+		c.down = true
+		c.downErr = err
+		c.downFlag.Store(true)
 	}
-	c.down = true
-	c.downErr = err
-	c.downFlag.Store(true)
 	c.mu.Unlock()
+	if crash {
+		c.crashed.Store(true)
+	}
+	c.stopOnce.Do(func() { close(c.stop) })
 	c.flushCond.Broadcast()
 }
 
-// Close stops the container's goroutines and seals its WAL handle.
+// requestCrash is markDown for fault hooks: an abrupt stop requested from
+// inside a pipeline goroutine.
+func (c *Container) requestCrash() {
+	c.markDown(ErrContainerDown, true)
+}
+
+// Close stops the container's goroutines and seals its WAL handle. It is
+// idempotent and safe after Crash (the WAL handle then stays open, as a
+// crashed process would leave it).
 func (c *Container) Close() error {
-	c.mu.Lock()
-	if c.down {
-		c.mu.Unlock()
+	c.markDown(ErrContainerDown, false)
+	c.wg.Wait()
+	if c.crashed.Load() {
 		return nil
 	}
-	c.down = true
-	c.downErr = ErrContainerDown
-	c.downFlag.Store(true)
-	c.mu.Unlock()
-	close(c.stop)
-	c.flushCond.Broadcast()
-	c.wg.Wait()
 	return c.log.Close()
 }
 
 // Crash simulates an abrupt failure: goroutines stop without flushing or
 // checkpointing, as after a process kill. The WAL handle is left open (a
-// real crash would not close it); the next NewContainer fences it.
+// real crash would not close it); the next NewContainer fences it. Crash
+// waits for the container's goroutines to unwind even when the crash was
+// already triggered internally by a fault hook, so callers can restart the
+// container without racing lingering flushes.
 func (c *Container) Crash() {
-	c.mu.Lock()
-	if c.down {
-		c.mu.Unlock()
-		return
-	}
-	c.down = true
-	c.downErr = ErrContainerDown
-	c.downFlag.Store(true)
-	c.mu.Unlock()
-	close(c.stop)
-	c.flushCond.Broadcast()
+	c.markDown(ErrContainerDown, true)
 	c.wg.Wait()
 }
 

@@ -1,0 +1,41 @@
+package segstore
+
+// Hooks exposes deterministic fault points inside the container pipeline for
+// crash-consistency testing (see internal/faultinject). Every field is
+// optional. A hook returning true requests an immediate crash: the container
+// transitions to the same state as Crash() — goroutines stop without
+// flushing or checkpointing, the WAL handle stays open for the next instance
+// to fence — but without waiting for them, because the hook runs on one of
+// the goroutines being stopped. The stage that invoked the hook aborts
+// before performing its next side effect, so the crash lands exactly at the
+// named point.
+//
+// Hook callbacks run on container-internal goroutines: they must be fast,
+// must not block, and must not call back into the container.
+type Hooks struct {
+	// BeforeApply fires after a frame is WAL-acknowledged, before it is
+	// applied to in-memory state. A crash here leaves a durable but
+	// unapplied WAL tail that recovery must replay (§4.4).
+	BeforeApply func(frameSeq int64) bool
+
+	// AfterChunkCreate fires after a new LTS chunk object is created,
+	// before any data is written to it and before the provisional metadata
+	// entry is durable. A crash here leaves an orphan chunk in LTS that a
+	// recovered flush must adopt instead of colliding with.
+	AfterChunkCreate func(segment, chunk string) bool
+
+	// BeforeFlushRetire fires after a chunk write has been recorded in
+	// segment metadata (commitChunkWrite), before the flushed bytes are
+	// retired from the un-tiered queue — the mid-flush window the paper's
+	// durability argument (§4.3) has to survive.
+	BeforeFlushRetire func(segment, chunk string, n int64) bool
+
+	// BeforeCheckpoint fires before a metadata checkpoint operation is
+	// submitted to the WAL.
+	BeforeCheckpoint func() bool
+
+	// AfterWALTruncate fires after WAL ledgers are released. A crash here
+	// verifies truncation never outruns tiering: everything recovery needs
+	// must still be in the retained tail.
+	AfterWALTruncate func() bool
+}

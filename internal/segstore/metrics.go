@@ -44,4 +44,8 @@ var (
 		"Bytes tiered to long-term storage")
 	mLTSFlushUs = obs.Default().Histogram("pravega_lts_flush_us",
 		"Latency of one segment batch flush to LTS, microseconds")
+	mFlushReconciledBytes = obs.Default().Counter("pravega_lts_reconciled_bytes_total",
+		"Bytes found already in LTS and adopted instead of re-written (partial writes, orphan chunks after a crash)")
+	mWALTruncateErrors = obs.Default().Counter("pravega_segstore_wal_truncate_errors_total",
+		"WAL truncation attempts that failed and will be retried")
 )

@@ -525,7 +525,23 @@ func (c *Container) applyFrame(f *frameResult) {
 		}
 		return
 	}
-	var appendBytes int64
+	if c.crashed.Load() {
+		// Crashed mid-drain: the frame is durable in the WAL but must not
+		// be applied — recovery will replay it. Callers get an ambiguous
+		// failure, exactly as if the process had died before acking.
+		for _, p := range f.done {
+			p.complete(AppendResult{Err: ErrContainerDown})
+		}
+		return
+	}
+	if h := c.cfg.Hooks; h != nil && h.BeforeApply != nil && h.BeforeApply(f.seq) {
+		c.requestCrash()
+		for _, p := range f.done {
+			p.complete(AppendResult{Err: ErrContainerDown})
+		}
+		return
+	}
+	var appendBytes, deletedUnflushed int64
 	c.mu.Lock()
 	for i, op := range f.ops {
 		p := f.done[i]
@@ -560,8 +576,16 @@ func (c *Container) applyFrame(f *frameResult) {
 				for _, w := range s.waiters {
 					close(w)
 				}
+				// The segment's un-tiered backlog disappears with it;
+				// release its share of the throttle budget.
+				for _, it := range s.unflushed {
+					deletedUnflushed += int64(len(it.data))
+				}
 				chunks := append([]chunkMeta(nil), s.chunks...)
 				delete(c.segments, op.Segment)
+				// The applier itself is wg-tracked, so the counter cannot
+				// hit zero while this Add runs.
+				c.wg.Add(1)
 				go c.deleteChunks(chunks)
 			}
 		case OpCheckpoint:
@@ -593,13 +617,24 @@ func (c *Container) applyFrame(f *frameResult) {
 		c.flushMu.Unlock()
 		c.kickFlush()
 	}
+	if deletedUnflushed > 0 {
+		c.flushMu.Lock()
+		c.unflushedBytes -= deletedUnflushed
+		c.flushMu.Unlock()
+		mUnflushedBytes.Add(-deletedUnflushed)
+		c.flushCond.Broadcast()
+	}
 	for _, p := range f.done {
 		p.complete(p.result)
 	}
 }
 
 func (c *Container) deleteChunks(chunks []chunkMeta) {
+	defer c.wg.Done()
 	for _, ch := range chunks {
+		if c.crashed.Load() {
+			return
+		}
 		_ = c.cfg.LTS.Delete(ch.Name)
 	}
 }

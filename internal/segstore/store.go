@@ -89,6 +89,24 @@ func (st *Store) StartContainer(id int) (*Container, error) {
 	return c, nil
 }
 
+// CrashContainer abruptly stops one hosted container (fault-injection
+// tests): the container crashes without flushing, and its claim is released
+// so a restart — on this store or another — can re-acquire it. The WAL
+// handle stays open, as a killed process would leave it; the next instance
+// fences it (§4.4).
+func (st *Store) CrashContainer(id int) error {
+	st.mu.Lock()
+	c, ok := st.containers[id]
+	delete(st.containers, id)
+	st.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: container %d not hosted on %s", ErrWrongContainer, id, st.cfg.ID)
+	}
+	c.Crash()
+	_ = st.cfg.Cluster.Delete(fmt.Sprintf("%s/%d", assignmentRoot, id), -1)
+	return nil
+}
+
 // Container returns the hosted container for a segment name, or
 // ErrWrongContainer when this store does not own the mapped container.
 func (st *Store) Container(segmentName string) (*Container, error) {

@@ -128,8 +128,15 @@ func Open(cfg Config) (*Log, error) {
 		}
 		l.md.Epoch++
 		l.version = stat.Version
-		// Fence & seal the previous writer's ledgers so it cannot append.
-		for _, lid := range l.md.Ledgers {
+		// Fence & seal the previous writer's retained ledgers so it cannot
+		// append. Ledgers below TruncateSeq were released by Truncate (the
+		// metadata CAS lands before deletion), so they must be skipped:
+		// recovering them would fail with "no such ledger" and wedge every
+		// restart after the first WAL truncation.
+		for seq, lid := range l.md.Ledgers {
+			if int64(seq) < l.md.TruncateSeq {
+				continue
+			}
 			if _, rerr := cfg.Client.OpenLedgerRecovery(lid); rerr != nil {
 				return nil, fmt.Errorf("wal: recovering ledger %d: %w", lid, rerr)
 			}
@@ -332,6 +339,15 @@ func (l *Log) Truncate(upTo Address) error {
 		}
 	}
 	return nil
+}
+
+// TruncatedBefore returns the first ledger sequence still retained: every
+// entry with a lower LedgerSeq has been released by Truncate. Recovery
+// validation uses it to assert that truncation never outran tiering.
+func (l *Log) TruncatedBefore() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.md.TruncateSeq
 }
 
 // RetainedLedgers reports how many ledgers the log currently holds (metrics

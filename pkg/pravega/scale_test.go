@@ -95,8 +95,8 @@ func TestHistoricalReadAfterTiering(t *testing.T) {
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if !sys.Cluster().WaitForTiering(10 * time.Second) {
-		t.Fatal("tiering did not finish")
+	if err := sys.Cluster().WaitForTiering(10 * time.Second); err != nil {
+		t.Fatalf("tiering did not finish: %v", err)
 	}
 	// Force every container to flush and checkpoint so the WAL can shrink.
 	for _, st := range sys.Cluster().Stores() {
