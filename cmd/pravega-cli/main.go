@@ -1,5 +1,7 @@
 // Command pravega-cli administers a pravega-server node over the wire
-// protocol and provides simple write/read utilities.
+// protocol and provides simple write/read utilities. It is built on the
+// same remote client the library API uses (pravega.Connect / wire.Client),
+// so it exercises the production transport end to end.
 //
 // Usage:
 //
@@ -13,7 +15,6 @@ package main
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -22,8 +23,8 @@ import (
 	"time"
 
 	"github.com/pravega-go/pravega/internal/controller"
-	"github.com/pravega-go/pravega/internal/keyspace"
 	"github.com/pravega-go/pravega/internal/wire"
+	"github.com/pravega-go/pravega/pkg/pravega"
 )
 
 func main() {
@@ -33,16 +34,16 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	conn, err := wire.Dial(*addr)
+	sys, err := pravega.Connect(*addr, pravega.ClientConfig{})
 	if err != nil {
 		log.Fatalf("pravega-cli: connecting: %v", err)
 	}
-	defer conn.Close()
+	defer sys.Close()
 
 	switch args[0] {
 	case "create-scope":
 		need(args, 2)
-		must(conn.Call(wire.MsgCreateScope, wire.StreamReq{Scope: args[1]}))
+		check(sys.CreateScope(args[1]))
 		fmt.Println("scope created")
 	case "create-stream":
 		need(args, 4)
@@ -50,34 +51,33 @@ func main() {
 		if err != nil {
 			log.Fatalf("pravega-cli: bad segment count %q", args[3])
 		}
-		must(conn.Call(wire.MsgCreateStream, wire.StreamReq{Scope: args[1], Stream: args[2], Segments: segs}))
+		check(sys.CreateStream(pravega.StreamConfig{Scope: args[1], Name: args[2], InitialSegments: segs}))
 		fmt.Println("stream created")
 	case "segments":
 		need(args, 3)
-		rep := must(conn.Call(wire.MsgActiveSegments, wire.StreamReq{Scope: args[1], Stream: args[2]}))
-		var segs []controller.SegmentWithRange
-		if err := json.Unmarshal(rep.JSON, &segs); err != nil {
-			log.Fatalf("pravega-cli: decoding: %v", err)
-		}
-		for _, s := range segs {
+		for _, s := range activeSegments(*addr, args[1], args[2]) {
 			fmt.Printf("segment %d  range %v  (%s)\n", s.ID.Number, s.KeyRange, s.ID.QualifiedName())
 		}
 	case "scale":
 		need(args, 5)
 		seg, _ := strconv.ParseInt(args[3], 10, 64)
 		factor, _ := strconv.Atoi(args[4])
-		must(conn.Call(wire.MsgScale, wire.StreamReq{Scope: args[1], Stream: args[2], SealSegment: seg, Factor: factor}))
+		check(sys.ScaleStream(args[1], args[2], seg, factor))
 		fmt.Println("scaled")
 	case "seal-stream":
 		need(args, 3)
-		must(conn.Call(wire.MsgSealStream, wire.StreamReq{Scope: args[1], Stream: args[2]}))
+		check(sys.SealStream(args[1], args[2]))
 		fmt.Println("sealed")
 	case "write":
 		need(args, 5)
-		writeEvent(conn, args[1], args[2], args[3], []byte(args[4]))
+		w, err := sys.NewWriter(pravega.WriterConfig{Scope: args[1], Stream: args[2]})
+		check(err)
+		check(w.WriteEvent(args[3], []byte(args[4])).Wait())
+		check(w.Close())
+		fmt.Println("written")
 	case "tail":
 		need(args, 3)
-		tail(conn, args[1], args[2])
+		tail(*addr, args[1], args[2])
 	default:
 		usage()
 	}
@@ -102,71 +102,46 @@ commands:
 	os.Exit(2)
 }
 
-func must(rep wire.Reply, err error) wire.Reply {
+func check(err error) {
 	if err != nil {
 		log.Fatalf("pravega-cli: %v", err)
 	}
-	return rep
 }
 
-// writeEvent routes the event by key exactly as the client library does and
-// appends one length-prefixed frame.
-func writeEvent(conn *wire.Conn, scope, stream, key string, data []byte) {
-	seg := segmentFor(conn, scope, stream, key)
-	var frame []byte
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	frame = append(frame, hdr[:]...)
-	frame = append(frame, data...)
-	rep := must(conn.Call(wire.MsgAppend, wire.AppendReq{
-		Segment:    seg,
-		Data:       frame,
-		WriterID:   fmt.Sprintf("cli-%d", os.Getpid()),
-		EventNum:   time.Now().UnixNano(),
-		EventCount: 1,
-		CondOffset: -1,
-	}))
-	fmt.Printf("written to %s at offset %d\n", seg, rep.Offset)
+// wireClient opens the raw remote client for operations below the public
+// API surface (segment listing and raw tail reads).
+func wireClient(addr string) *wire.Client {
+	wc, err := wire.NewClient(addr, wire.ClientConfig{})
+	check(err)
+	return wc
 }
 
-func segmentFor(conn *wire.Conn, scope, stream, key string) string {
-	rep := must(conn.Call(wire.MsgActiveSegments, wire.StreamReq{Scope: scope, Stream: stream}))
-	var segs []controller.SegmentWithRange
-	if err := json.Unmarshal(rep.JSON, &segs); err != nil {
-		log.Fatalf("pravega-cli: decoding: %v", err)
-	}
-	h := keyspace.HashKey(key)
-	for _, s := range segs {
-		if s.KeyRange.Contains(h) {
-			return s.ID.QualifiedName()
-		}
-	}
-	log.Fatalf("pravega-cli: no active segment covers key %q", key)
-	return ""
+func activeSegments(addr, scope, stream string) []controller.SegmentWithRange {
+	wc := wireClient(addr)
+	defer wc.Close()
+	segs, err := wc.GetActiveSegments(scope, stream)
+	check(err)
+	return segs
 }
 
 // tail follows every active segment from its current end and prints events.
-func tail(conn *wire.Conn, scope, stream string) {
-	rep := must(conn.Call(wire.MsgActiveSegments, wire.StreamReq{Scope: scope, Stream: stream}))
-	var segs []controller.SegmentWithRange
-	if err := json.Unmarshal(rep.JSON, &segs); err != nil {
-		log.Fatalf("pravega-cli: decoding: %v", err)
-	}
+func tail(addr, scope, stream string) {
+	wc := wireClient(addr)
+	defer wc.Close()
+	segs, err := wc.GetActiveSegments(scope, stream)
+	check(err)
 	offsets := make(map[string]int64)
 	for _, s := range segs {
-		info := must(conn.Call(wire.MsgGetInfo, wire.SegmentReq{Segment: s.ID.QualifiedName()}))
-		var si struct{ Length int64 }
-		_ = json.Unmarshal(info.JSON, &si)
-		offsets[s.ID.QualifiedName()] = si.Length
+		info, err := wc.GetInfo(s.ID.QualifiedName())
+		check(err)
+		offsets[s.ID.QualifiedName()] = info.Length
 	}
 	fmt.Println("tailing (ctrl-c to stop)...")
 	for {
 		for qn, off := range offsets {
-			rep, err := conn.Call(wire.MsgRead, wire.ReadReq{Segment: qn, Offset: off, MaxBytes: 1 << 16, WaitMS: 250})
-			if err != nil {
-				log.Fatalf("pravega-cli: read: %v", err)
-			}
-			buf := rep.Data
+			res, err := wc.Read(qn, off, 1<<16, 250*time.Millisecond)
+			check(err)
+			buf := res.Data
 			for len(buf) >= 4 {
 				n := binary.BigEndian.Uint32(buf)
 				if len(buf) < int(4+n) {

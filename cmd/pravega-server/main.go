@@ -59,7 +59,7 @@ func main() {
 	}
 	defer sys.Close()
 
-	srv, err := wire.NewServer(sys, *listen)
+	srv, err := wire.NewServer(sys.Cluster(), sys.Controller(), *listen)
 	if err != nil {
 		log.Fatalf("pravega-server: listening: %v", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/pravega-go/pravega/internal/segment"
 	"github.com/pravega-go/pravega/internal/segstore"
 	"github.com/pravega-go/pravega/internal/sim"
 )
@@ -123,26 +124,28 @@ func (c *Conn) ReadCtx(ctx context.Context, segment string, offset int64, maxByt
 }
 
 // GetInfo fetches segment metadata.
-func (c *Conn) GetInfo(segment string) (seginfo, error) {
-	cont, err := c.cl.ContainerFor(segment)
+func (c *Conn) GetInfo(name string) (segment.Info, error) {
+	cont, err := c.cl.ContainerFor(name)
 	if err != nil {
-		return seginfo{}, err
+		return segment.Info{}, err
 	}
 	c.oneWay()
-	info, err := cont.GetInfo(segment)
+	info, err := cont.GetInfo(name)
 	c.oneWay()
-	if err != nil {
-		return seginfo{}, err
-	}
-	return seginfo{Length: info.Length, StartOffset: info.StartOffset, Sealed: info.Sealed}, nil
+	return info, err
 }
 
-// seginfo is the client-visible slice of segment.Info.
-type seginfo struct {
-	Length      int64
-	StartOffset int64
-	Sealed      bool
+// CreateSegment registers a raw segment (reader-group state, KV tables).
+func (c *Conn) CreateSegment(name string) error {
+	c.oneWay()
+	err := c.cl.CreateSegment(name)
+	c.oneWay()
+	return err
 }
+
+// Close releases the connection. The in-process links hold no OS
+// resources; Close exists to satisfy client.DataTransport.
+func (c *Conn) Close() error { return nil }
 
 // WriterState fetches the writer's last recorded event number (§3.2
 // reconnection handshake).

@@ -176,6 +176,17 @@ func (cl *Cluster) TotalContainers() int { return cl.total }
 // Stores returns the segment store instances.
 func (cl *Cluster) Stores() []*segstore.Store { return cl.stores }
 
+// ContainerHomes returns a copy of the container-id → store-index routing
+// table (served to remote clients via the wire protocol's cluster-info
+// request, so they can pool one connection per store).
+func (cl *Cluster) ContainerHomes() map[int]int {
+	out := make(map[int]int, len(cl.containerHome))
+	for id, si := range cl.containerHome {
+		out[id] = si
+	}
+	return out
+}
+
 // Bookies returns the bookie instances (failure injection).
 func (cl *Cluster) Bookies() []*bookkeeper.Bookie { return cl.bookies }
 

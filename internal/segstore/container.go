@@ -44,7 +44,12 @@ type segState struct {
 	startOffset   int64 // truncation point
 	storageLength int64 // prefix safely in LTS
 	attributes    segment.Attributes
-	index         *readindex.Index
+	// attrPending tracks writer event numbers at validation time, ahead of
+	// attributes (which advance only when the frame is applied). The
+	// frame builder consults both, so a retry racing its queued original
+	// is classified as a duplicate instead of being applied twice (§3.2).
+	attrPending segment.Attributes
+	index       *readindex.Index
 	chunks        []chunkMeta
 	unflushed     []flushItem
 	waiters       []chan struct{}
@@ -180,8 +185,9 @@ func (c *Container) Epoch() int64 { return c.log.Epoch() }
 // newSegState builds an empty in-memory segment record.
 func (c *Container) newSegState(name string) *segState {
 	return &segState{
-		name:       name,
-		attributes: make(segment.Attributes),
+		name:        name,
+		attributes:  make(segment.Attributes),
+		attrPending: make(segment.Attributes),
 		index:      readindex.New(),
 		meter:      metrics.NewRateMeter(c.cfg.LoadSlots, c.cfg.LoadWindow/time.Duration(c.cfg.LoadSlots)),
 	}

@@ -15,11 +15,17 @@ import (
 // in-order applier installs it into container state. The struct and its two
 // slices are pooled — one frame object serves many frames over its life.
 type frameResult struct {
-	seq     int64
-	addr    wal.Address
-	err     error
-	ops     []*Operation
-	done    []*pendingOp
+	seq  int64
+	addr wal.Address
+	err  error
+	ops  []*Operation
+	done []*pendingOp
+	// dups are retries of appends that were still pending (validated but
+	// not yet applied) when the retry arrived. Their acknowledgement rides
+	// this frame: the in-order applier completes them only after every
+	// earlier frame — including the one carrying the original append — has
+	// been applied, so the dedup ack implies the original is durable.
+	dups    []*pendingOp
 	bytes   int
 	start   time.Time
 	sampled bool // at least one op carries a trace span
@@ -38,7 +44,10 @@ func putFrame(f *frameResult) {
 	for i := range f.done {
 		f.done[i] = nil
 	}
-	f.ops, f.done = f.ops[:0], f.done[:0]
+	for i := range f.dups {
+		f.dups[i] = nil
+	}
+	f.ops, f.done, f.dups = f.ops[:0], f.done[:0], f.dups[:0]
 	f.seq, f.addr, f.err, f.bytes, f.start, f.sampled = 0, wal.Address{}, nil, 0, time.Time{}, false
 	framePool.Put(f)
 }
@@ -266,12 +275,20 @@ func (c *Container) frameBuilderLoop() {
 		admit := func(p *pendingOp) {
 			mQueueDepth.Add(-1)
 			if err := c.validateAndSequence(&p.op); err != nil {
-				if err == errDuplicateAppend {
+				switch err {
+				case errDuplicateAppend:
 					// Writer retry of an already-applied append: acknowledge
 					// as success without re-writing (§3.2). Offset -1 tells
 					// the caller the data was deduplicated.
 					p.complete(AppendResult{Offset: -1})
-				} else {
+				case errDuplicatePending:
+					// Retry of an append that is validated but not yet
+					// applied. The ack must not outrun the original's
+					// durability, so it rides this frame through the WAL
+					// and in-order applier.
+					p.result.Offset = -1
+					fr.dups = append(fr.dups, p)
+				default:
 					p.complete(AppendResult{Err: err})
 				}
 				return
@@ -311,10 +328,13 @@ func (c *Container) frameBuilderLoop() {
 			}
 		}
 
-		if len(fr.ops) == 0 {
+		if len(fr.ops) == 0 && len(fr.dups) == 0 {
 			putFrame(fr)
 			continue
 		}
+		// A frame holding only pending-duplicate acks still goes through the
+		// WAL (as an empty frame) so those acks stay ordered after the
+		// frames carrying the original appends.
 		c.submitFrame(fr)
 	}
 }
@@ -374,11 +394,21 @@ func (c *Container) validateAndSequence(op *Operation) error {
 			return fmt.Errorf("%w: %s", ErrSegmentSealed, op.Segment)
 		}
 		if op.WriterID != "" {
-			if last, ok := s.attributes[op.WriterID]; ok && op.EventNum <= last {
-				// Duplicate from a writer retry: ack at the recorded state
-				// without re-appending (§3.2).
-				return errDuplicateAppend
+			last, known := s.attributes[op.WriterID]
+			if p, ok := s.attrPending[op.WriterID]; ok && (!known || p > last) {
+				last, known = p, true
 			}
+			if known && op.EventNum <= last {
+				// Duplicate from a writer retry: ack at the recorded state
+				// without re-appending (§3.2). If the original is already
+				// applied the ack is immediate; if it is still in flight the
+				// ack must ride the current frame (see frameResult.dups).
+				if applied, ok := s.attributes[op.WriterID]; ok && op.EventNum <= applied {
+					return errDuplicateAppend
+				}
+				return errDuplicatePending
+			}
+			s.attrPending[op.WriterID] = op.EventNum
 		}
 		if op.CondOffset >= 0 && op.CondOffset != s.pendingLength {
 			return fmt.Errorf("%w: expected %d, length %d", ErrConditionalFailed, op.CondOffset, s.pendingLength)
@@ -413,6 +443,11 @@ func (c *Container) validateAndSequence(op *Operation) error {
 // errDuplicateAppend is an internal sentinel: the append is a writer retry
 // already reflected in segment state; acknowledge without applying.
 var errDuplicateAppend = fmt.Errorf("segstore: duplicate append")
+
+// errDuplicatePending marks a retry whose original append is sequenced but
+// not yet durably applied: the dedup ack must be deferred until the applier
+// reaches the current frame.
+var errDuplicatePending = fmt.Errorf("segstore: duplicate append (pending)")
 
 // submitFrame writes one data frame to the WAL. The marshal buffer comes
 // from a pool and goes straight back: wal.Log.AppendAsync serializes the
@@ -523,6 +558,9 @@ func (c *Container) applyFrame(f *frameResult) {
 		for _, p := range f.done {
 			p.complete(AppendResult{Err: f.err})
 		}
+		for _, p := range f.dups {
+			p.complete(AppendResult{Err: f.err})
+		}
 		return
 	}
 	if c.crashed.Load() {
@@ -532,11 +570,17 @@ func (c *Container) applyFrame(f *frameResult) {
 		for _, p := range f.done {
 			p.complete(AppendResult{Err: ErrContainerDown})
 		}
+		for _, p := range f.dups {
+			p.complete(AppendResult{Err: ErrContainerDown})
+		}
 		return
 	}
 	if h := c.cfg.Hooks; h != nil && h.BeforeApply != nil && h.BeforeApply(f.seq) {
 		c.requestCrash()
 		for _, p := range f.done {
+			p.complete(AppendResult{Err: ErrContainerDown})
+		}
+		for _, p := range f.dups {
 			p.complete(AppendResult{Err: ErrContainerDown})
 		}
 		return
@@ -625,6 +669,12 @@ func (c *Container) applyFrame(f *frameResult) {
 		c.flushCond.Broadcast()
 	}
 	for _, p := range f.done {
+		p.complete(p.result)
+	}
+	// Pending-duplicate acks complete last: every frame up to and including
+	// this one is applied, so the originals they deduplicated against are
+	// durable.
+	for _, p := range f.dups {
 		p.complete(p.result)
 	}
 }

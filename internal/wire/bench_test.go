@@ -6,19 +6,12 @@ import (
 
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/hosting"
-	"github.com/pravega-go/pravega/pkg/pravega"
 )
 
 func newBenchServer(b *testing.B) *Conn {
 	b.Helper()
-	sys, err := pravega.NewInProcess(pravega.SystemConfig{
-		Cluster: hosting.ClusterConfig{Stores: 1, ContainersPerStore: 1, Bookies: 3},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.Cleanup(sys.Close)
-	srv, err := NewServer(sys, "127.0.0.1:0")
+	cl, ctrl := newBackend(b, hosting.ClusterConfig{Stores: 1, ContainersPerStore: 1, Bookies: 3})
+	srv, err := NewServer(cl, ctrl, "127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -63,7 +56,7 @@ func BenchmarkWireAppend(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ch, err := conn.CallAsync(MsgAppend, AppendReq{Segment: seg, Data: data, CondOffset: -1})
+		ch, _, err := conn.CallAsync(MsgAppend, AppendReq{Segment: seg, Data: data, CondOffset: -1})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,546 @@
+package wire
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/client"
+	"github.com/pravega-go/pravega/internal/controller"
+	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/obs"
+	"github.com/pravega-go/pravega/internal/segment"
+	"github.com/pravega-go/pravega/internal/segstore"
+)
+
+// Process-wide series for the wire protocol client.
+var (
+	mcConnections = obs.Default().Gauge("pravega_wire_client_connections",
+		"Live server connections held by wire clients")
+	mcReconnects = obs.Default().Counter("pravega_wire_client_reconnects_total",
+		"Successful reconnects after a lost server connection")
+	mcInflightAppends = obs.Default().Gauge("pravega_wire_client_inflight_appends",
+		"Appends sent and not yet acknowledged")
+	mcAppendRTT = obs.Default().Histogram("pravega_wire_client_append_rtt_us",
+		"Append round-trip time (µs), send to acknowledgement")
+	mcLongPolls = obs.Default().Gauge("pravega_wire_client_longpoll_reads",
+		"Long-poll reads waiting on the server")
+)
+
+// ClientConfig tunes the remote transport.
+type ClientConfig struct {
+	// MinBackoff/MaxBackoff bound the reconnect backoff (capped exponential,
+	// defaults 5ms and 1s).
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+	// SyncRetryWindow is how long synchronous operations (reads, metadata,
+	// control plane) keep retrying across a lost connection before failing
+	// with client.ErrDisconnected (default 15s). Async appends never retry
+	// internally: the event writer owns retry, because only it can replay
+	// batches verbatim and preserve exactly-once dedup (§3.2).
+	SyncRetryWindow time.Duration
+}
+
+func (c *ClientConfig) defaults() {
+	if c.MinBackoff <= 0 {
+		c.MinBackoff = 5 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.SyncRetryWindow <= 0 {
+		c.SyncRetryWindow = 15 * time.Second
+	}
+}
+
+// Client is the remote transport: it implements both client.DataTransport
+// and client.ControlTransport over the wire protocol. Like the in-process
+// path, it routes each segment to the store hosting its container and
+// keeps one pipelined connection per store (plus one for the control
+// plane), so appends to different stores never queue behind each other.
+// Lost connections reconnect in the background with capped exponential
+// backoff; in-flight operations on the lost connection fail with
+// client.ErrDisconnected.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+	info ClusterInfo
+
+	ctrl   *storeConn
+	stores []*storeConn
+}
+
+var (
+	_ client.DataTransport    = (*Client)(nil)
+	_ client.ControlTransport = (*Client)(nil)
+)
+
+// NewClient dials addr, discovers the cluster layout, and opens one
+// connection per segment store.
+func NewClient(addr string, cfg ClientConfig) (*Client, error) {
+	cfg.defaults()
+	ctrlConn, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ctrlConn.Call(MsgClusterInfo, struct{}{})
+	if err != nil {
+		_ = ctrlConn.Close()
+		return nil, fmt.Errorf("wire: cluster info: %w", err)
+	}
+	var info ClusterInfo
+	if err := json.Unmarshal(rep.JSON, &info); err != nil {
+		_ = ctrlConn.Close()
+		return nil, fmt.Errorf("wire: cluster info: %w", err)
+	}
+	if info.Stores <= 0 || info.TotalContainers <= 0 {
+		_ = ctrlConn.Close()
+		return nil, fmt.Errorf("wire: bad cluster info (%d stores, %d containers)", info.Stores, info.TotalContainers)
+	}
+	c := &Client{addr: addr, cfg: cfg, info: info}
+	c.ctrl = newStoreConn(c, ctrlConn)
+	c.stores = make([]*storeConn, info.Stores)
+	for i := range c.stores {
+		conn, err := Dial(addr)
+		if err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+		c.stores[i] = newStoreConn(c, conn)
+	}
+	return c, nil
+}
+
+// Close tears down every connection. In-flight operations fail with
+// client.ErrDisconnected.
+func (c *Client) Close() error {
+	c.ctrl.close()
+	for _, sc := range c.stores {
+		if sc != nil {
+			sc.close()
+		}
+	}
+	return nil
+}
+
+// storeFor routes a qualified segment name to its store's connection, the
+// same hash the server-side cluster uses.
+func (c *Client) storeFor(name string) *storeConn {
+	id := keyspace.HashToContainer(name, c.info.TotalContainers)
+	return c.stores[c.info.ContainerHome[id]]
+}
+
+// storeConn owns one connection to the server and its reconnect loop.
+type storeConn struct {
+	c      *Client
+	mu     sync.Mutex
+	conn   *Conn // nil while disconnected
+	redial bool  // reconnect loop running
+	closed bool
+}
+
+func newStoreConn(c *Client, conn *Conn) *storeConn {
+	mcConnections.Add(1)
+	return &storeConn{c: c, conn: conn}
+}
+
+func (sc *storeConn) close() {
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	sc.closed = true
+	conn := sc.conn
+	sc.conn = nil
+	sc.mu.Unlock()
+	if conn != nil {
+		mcConnections.Add(-1)
+		_ = conn.Close()
+	}
+}
+
+// current returns the live connection, or nil while disconnected.
+func (sc *storeConn) current() *Conn {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.conn
+}
+
+// fault reports that conn failed. The first reporter tears it down and
+// starts the reconnect loop; duplicates (every in-flight op on the
+// connection observes the same failure) are no-ops.
+func (sc *storeConn) fault(conn *Conn) {
+	if conn == nil {
+		return
+	}
+	sc.mu.Lock()
+	if sc.conn != conn {
+		sc.mu.Unlock()
+		return
+	}
+	sc.conn = nil
+	start := !sc.redial && !sc.closed
+	if start {
+		sc.redial = true
+	}
+	sc.mu.Unlock()
+	mcConnections.Add(-1)
+	_ = conn.Close()
+	if start {
+		go sc.reconnectLoop()
+	}
+}
+
+// reconnectLoop redials with capped exponential backoff until it succeeds
+// or the client closes.
+func (sc *storeConn) reconnectLoop() {
+	backoff := sc.c.cfg.MinBackoff
+	for {
+		sc.mu.Lock()
+		if sc.closed {
+			sc.redial = false
+			sc.mu.Unlock()
+			return
+		}
+		sc.mu.Unlock()
+		conn, err := Dial(sc.c.addr)
+		if err == nil {
+			sc.mu.Lock()
+			sc.redial = false
+			if sc.closed {
+				sc.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			sc.conn = conn
+			sc.mu.Unlock()
+			mcConnections.Add(1)
+			mcReconnects.Inc()
+			return
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > sc.c.cfg.MaxBackoff {
+			backoff = sc.c.cfg.MaxBackoff
+		}
+	}
+}
+
+// acquire waits for a live connection until the deadline (and ctx, when
+// non-nil) allows.
+func (sc *storeConn) acquire(ctx context.Context, deadline time.Time) (*Conn, error) {
+	for {
+		sc.mu.Lock()
+		conn, closed := sc.conn, sc.closed
+		sc.mu.Unlock()
+		if closed {
+			return nil, fmt.Errorf("wire: client closed: %w", client.ErrDisconnected)
+		}
+		if conn != nil {
+			return conn, nil
+		}
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("wire: %s unreachable: %w", sc.c.addr, client.ErrDisconnected)
+		}
+		time.Sleep(sc.c.cfg.MinBackoff)
+	}
+}
+
+// isDisconnect reports whether err is a transport failure (as opposed to a
+// server-side error reply) and therefore worth a reconnect-and-retry.
+func isDisconnect(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, client.ErrDisconnected) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+func disconnected(err error) error {
+	if errors.Is(err, client.ErrDisconnected) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", client.ErrDisconnected, err)
+}
+
+// call performs one synchronous request, retrying across connection loss
+// within the sync retry window. Safe for every synchronous operation the
+// transport exposes: reads and metadata are idempotent, and conditional
+// appends are guarded by their expected offset (a lost ack resurfaces as
+// ErrConditionalFailed, which the state synchronizer resolves by
+// refetching, §3.3).
+func (sc *storeConn) call(t MessageType, body any) (Reply, error) {
+	deadline := time.Now().Add(sc.c.cfg.SyncRetryWindow)
+	for {
+		conn, err := sc.acquire(nil, deadline)
+		if err != nil {
+			return Reply{}, err
+		}
+		rep, err := conn.Call(t, body)
+		if err != nil && isDisconnect(err) {
+			sc.fault(conn)
+			if time.Now().Before(deadline) {
+				continue
+			}
+			return Reply{}, disconnected(err)
+		}
+		return rep, err
+	}
+}
+
+// --- client.DataTransport ---
+
+// AppendAsync pipelines an append on the segment's store connection. It
+// fails fast on a lost connection — no internal retry — because replaying
+// is the event writer's job: it must resend the original batches verbatim
+// for server-side dedup to recognize them (§3.2).
+func (c *Client) AppendAsync(name string, data []byte, writerID string, eventNum int64, eventCount int32, cb func(segstore.AppendResult)) {
+	sc := c.storeFor(name)
+	conn := sc.current()
+	if conn == nil {
+		// Deliver on a goroutine: callers may invoke AppendAsync holding the
+		// lock their callback takes.
+		go cb(segstore.AppendResult{Offset: -1, Err: fmt.Errorf("wire: %s: %w", c.addr, client.ErrDisconnected)})
+		return
+	}
+	req := AppendReq{
+		Segment: name, Data: data, WriterID: writerID,
+		EventNum: eventNum, EventCount: eventCount, CondOffset: -1,
+	}
+	start := time.Now()
+	mcInflightAppends.Add(1)
+	err := conn.CallAsyncFunc(MsgAppend, &req, func(rep Reply) {
+		mcInflightAppends.Add(-1)
+		mcAppendRTT.RecordSince(start)
+		err := ReplyError(rep)
+		if isDisconnect(err) {
+			sc.fault(conn)
+		}
+		cb(segstore.AppendResult{Offset: rep.Offset, Err: err})
+	})
+	if err != nil {
+		mcInflightAppends.Add(-1)
+		sc.fault(conn)
+		go cb(segstore.AppendResult{Offset: -1, Err: disconnected(err)})
+	}
+}
+
+// AppendConditional implements the state synchronizer's compare-and-append.
+func (c *Client) AppendConditional(name string, data []byte, expectedOffset int64) (int64, error) {
+	req := AppendReq{Segment: name, Data: data, CondOffset: expectedOffset}
+	rep, err := c.storeFor(name).call(MsgAppend, &req)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Offset, nil
+}
+
+// Read reads from a segment, long-polling up to wait at the tail.
+func (c *Client) Read(name string, offset int64, maxBytes int, wait time.Duration) (segstore.ReadResult, error) {
+	return c.ReadCtx(context.Background(), name, offset, maxBytes, wait)
+}
+
+// ReadCtx is Read with the wait cancellable: when ctx is done the client
+// sends a cancel for the in-flight request and the server-side long poll
+// unblocks immediately.
+func (c *Client) ReadCtx(ctx context.Context, name string, offset int64, maxBytes int, wait time.Duration) (segstore.ReadResult, error) {
+	sc := c.storeFor(name)
+	req := ReadReq{Segment: name, Offset: offset, MaxBytes: maxBytes, WaitMS: wait.Milliseconds()}
+	deadline := time.Now().Add(c.cfg.SyncRetryWindow)
+	for {
+		conn, err := sc.acquire(ctx, deadline)
+		if err != nil {
+			return segstore.ReadResult{}, err
+		}
+		ch, id, err := conn.CallAsync(MsgRead, &req)
+		if err != nil {
+			if isDisconnect(err) {
+				sc.fault(conn)
+				if ctx.Err() == nil && time.Now().Before(deadline) {
+					continue
+				}
+				err = disconnected(err)
+			}
+			return segstore.ReadResult{}, err
+		}
+		mcLongPolls.Add(1)
+		var rep Reply
+		select {
+		case rep = <-ch:
+		case <-ctx.Done():
+			// Unblock the server-side wait; the original request always
+			// completes (cancellation error, or failAll on connection loss),
+			// so this drain cannot hang.
+			conn.Cancel(id)
+			<-ch
+			mcLongPolls.Add(-1)
+			return segstore.ReadResult{}, ctx.Err()
+		}
+		mcLongPolls.Add(-1)
+		if rep.Err != "" {
+			err := ReplyError(rep)
+			if isDisconnect(err) {
+				sc.fault(conn)
+				if ctx.Err() == nil && time.Now().Before(deadline) {
+					continue
+				}
+			}
+			return segstore.ReadResult{}, err
+		}
+		return segstore.ReadResult{Data: rep.Data, Offset: rep.Offset, EndOfSegment: rep.EOS}, nil
+	}
+}
+
+// GetInfo fetches segment metadata.
+func (c *Client) GetInfo(name string) (segment.Info, error) {
+	rep, err := c.storeFor(name).call(MsgGetInfo, SegmentReq{Segment: name})
+	if err != nil {
+		return segment.Info{}, err
+	}
+	var info segment.Info
+	if err := json.Unmarshal(rep.JSON, &info); err != nil {
+		return segment.Info{}, fmt.Errorf("wire: segment info: %w", err)
+	}
+	return info, nil
+}
+
+// WriterState returns the writer's last recorded event number (§3.2
+// reconnection handshake).
+func (c *Client) WriterState(name, writerID string) (int64, error) {
+	rep, err := c.storeFor(name).call(MsgWriterState, SegmentReq{Segment: name, WriterID: writerID})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Offset, nil
+}
+
+// CreateSegment registers a raw segment.
+func (c *Client) CreateSegment(name string) error {
+	_, err := c.storeFor(name).call(MsgCreateSegment, SegmentReq{Segment: name})
+	return err
+}
+
+// --- client.ControlTransport ---
+
+func (c *Client) CreateScope(scope string) error {
+	_, err := c.ctrl.call(MsgCreateScope, StreamReq{Scope: scope})
+	return err
+}
+
+func (c *Client) CreateStream(cfg controller.StreamConfig) error {
+	req := StreamReq{Scope: cfg.Scope, Stream: cfg.Name, Segments: cfg.InitialSegments}
+	if cfg.Scaling != (controller.ScalingPolicy{}) {
+		s := cfg.Scaling
+		req.Scaling = &s
+	}
+	if cfg.Retention != (controller.RetentionPolicy{}) {
+		r := cfg.Retention
+		req.Retention = &r
+	}
+	_, err := c.ctrl.call(MsgCreateStream, req)
+	return err
+}
+
+func (c *Client) GetActiveSegments(scope, stream string) ([]controller.SegmentWithRange, error) {
+	rep, err := c.ctrl.call(MsgActiveSegments, StreamReq{Scope: scope, Stream: stream})
+	if err != nil {
+		return nil, err
+	}
+	var segs []controller.SegmentWithRange
+	if err := json.Unmarshal(rep.JSON, &segs); err != nil {
+		return nil, fmt.Errorf("wire: active segments: %w", err)
+	}
+	return segs, nil
+}
+
+func (c *Client) GetSuccessors(scope, stream string, segNumber int64) ([]controller.SuccessorRecord, error) {
+	rep, err := c.ctrl.call(MsgSuccessors, StreamReq{Scope: scope, Stream: stream, Segment: segNumber})
+	if err != nil {
+		return nil, err
+	}
+	var succ []controller.SuccessorRecord
+	if err := json.Unmarshal(rep.JSON, &succ); err != nil {
+		return nil, fmt.Errorf("wire: successors: %w", err)
+	}
+	return succ, nil
+}
+
+func (c *Client) GetHeadSegments(scope, stream string) ([]controller.HeadSegment, error) {
+	rep, err := c.ctrl.call(MsgHeadSegments, StreamReq{Scope: scope, Stream: stream})
+	if err != nil {
+		return nil, err
+	}
+	var heads []controller.HeadSegment
+	if err := json.Unmarshal(rep.JSON, &heads); err != nil {
+		return nil, fmt.Errorf("wire: head segments: %w", err)
+	}
+	return heads, nil
+}
+
+func (c *Client) Scale(scope, stream string, seal []int64, newRanges []keyspace.Range) error {
+	_, err := c.ctrl.call(MsgScaleSegments, ScaleReq{Scope: scope, Stream: stream, Seal: seal, Ranges: newRanges})
+	return err
+}
+
+func (c *Client) SealStream(scope, stream string) error {
+	_, err := c.ctrl.call(MsgSealStream, StreamReq{Scope: scope, Stream: stream})
+	return err
+}
+
+func (c *Client) TruncateStream(scope, stream string, cut controller.StreamCut) error {
+	_, err := c.ctrl.call(MsgTruncateStream, TruncateStreamReq{Scope: scope, Stream: stream, Cut: cut})
+	return err
+}
+
+func (c *Client) DeleteStream(scope, stream string) error {
+	_, err := c.ctrl.call(MsgDeleteStream, StreamReq{Scope: scope, Stream: stream})
+	return err
+}
+
+func (c *Client) StreamConfigOf(scope, stream string) (controller.StreamConfig, error) {
+	rep, err := c.ctrl.call(MsgStreamConfig, StreamReq{Scope: scope, Stream: stream})
+	if err != nil {
+		return controller.StreamConfig{}, err
+	}
+	var cfg controller.StreamConfig
+	if err := json.Unmarshal(rep.JSON, &cfg); err != nil {
+		return controller.StreamConfig{}, fmt.Errorf("wire: stream config: %w", err)
+	}
+	return cfg, nil
+}
+
+func (c *Client) UpdateStreamPolicies(scope, stream string, scaling *controller.ScalingPolicy, retention *controller.RetentionPolicy) error {
+	_, err := c.ctrl.call(MsgUpdatePolicies, StreamReq{Scope: scope, Stream: stream, Scaling: scaling, Retention: retention})
+	return err
+}
+
+func (c *Client) IsStreamSealed(scope, stream string) (bool, error) {
+	rep, err := c.ctrl.call(MsgIsSealed, StreamReq{Scope: scope, Stream: stream})
+	if err != nil {
+		return false, err
+	}
+	return rep.Count == 1, nil
+}
+
+func (c *Client) SegmentCount(scope, stream string) (int, error) {
+	rep, err := c.ctrl.call(MsgSegmentCount, StreamReq{Scope: scope, Stream: stream})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Count, nil
+}

@@ -119,6 +119,7 @@ func unmarshalReadReq(src []byte) (ReadReq, error) {
 
 func (r *Reply) marshalBinary(dst []byte) []byte {
 	dst = appendUvarintBytes(dst, []byte(r.Err))
+	dst = binary.AppendVarint(dst, int64(r.Code))
 	dst = binary.AppendVarint(dst, r.Offset)
 	var eos byte
 	if r.EOS {
@@ -139,6 +140,11 @@ func unmarshalReplyBin(src []byte) (Reply, error) {
 		return rep, err
 	}
 	rep.Err = string(errB)
+	var code int64
+	if code, src, err = consumeVarint(src); err != nil {
+		return rep, err
+	}
+	rep.Code = int(code)
 	if rep.Offset, src, err = consumeVarint(src); err != nil {
 		return rep, err
 	}

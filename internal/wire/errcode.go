@@ -1,0 +1,111 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/pravega-go/pravega/internal/client"
+	"github.com/pravega-go/pravega/internal/controller"
+	"github.com/pravega-go/pravega/internal/segstore"
+)
+
+// Error codes carried in Reply.Code. A reply's Err string keeps the
+// server-side message; the code names the sentinel in the error's chain so
+// the client can rebuild an errors.Is-matchable error. Codes are part of
+// the wire protocol: append only, never renumber.
+const (
+	codeNone = iota
+	// Segment-store sentinels.
+	codeSegmentExists
+	codeSegmentNotFound
+	codeSegmentSealed
+	codeSegmentTruncated
+	codeConditionalFailed
+	codeContainerDown
+	codeReadTimeout
+	codeWrongContainer
+	// Controller sentinels.
+	codeScopeExists
+	codeScopeNotFound
+	codeStreamExists
+	codeStreamNotFound
+	codeStreamSealed
+	codeBadScale
+	// Transport / context.
+	codeDisconnected
+	codeCanceled
+	codeDeadline
+)
+
+// codeSentinels maps codes to the sentinel errors they name, in both
+// directions. Match order matters on the encode side: more specific
+// sentinels first.
+var codeSentinels = []struct {
+	code int
+	err  error
+}{
+	{codeSegmentExists, segstore.ErrSegmentExists},
+	{codeSegmentNotFound, segstore.ErrSegmentNotFound},
+	{codeSegmentSealed, segstore.ErrSegmentSealed},
+	{codeSegmentTruncated, segstore.ErrSegmentTruncated},
+	{codeConditionalFailed, segstore.ErrConditionalFailed},
+	{codeContainerDown, segstore.ErrContainerDown},
+	{codeReadTimeout, segstore.ErrReadTimeout},
+	{codeWrongContainer, segstore.ErrWrongContainer},
+	{codeScopeExists, controller.ErrScopeExists},
+	{codeScopeNotFound, controller.ErrScopeNotFound},
+	{codeStreamExists, controller.ErrStreamExists},
+	{codeStreamNotFound, controller.ErrStreamNotFound},
+	{codeStreamSealed, controller.ErrStreamSealed},
+	{codeBadScale, controller.ErrBadScale},
+	{codeDisconnected, client.ErrDisconnected},
+	{codeCanceled, context.Canceled},
+	{codeDeadline, context.DeadlineExceeded},
+}
+
+// ErrCode returns the wire code for an error's sentinel, or codeNone when
+// the chain holds no known sentinel.
+func ErrCode(err error) int {
+	if err == nil {
+		return codeNone
+	}
+	for _, cs := range codeSentinels {
+		if errors.Is(err, cs.err) {
+			return cs.code
+		}
+	}
+	return codeNone
+}
+
+// wireError carries a reply's message with the sentinel its code named, so
+// errors.Is matches across the network boundary.
+type wireError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+// ReplyError reconstructs the error a reply describes: the message is the
+// server's, and when the code names a sentinel, the chain includes it.
+func ReplyError(rep Reply) error {
+	if rep.Err == "" {
+		return nil
+	}
+	for _, cs := range codeSentinels {
+		if cs.code == rep.Code {
+			return &wireError{sentinel: cs.err, msg: rep.Err}
+		}
+	}
+	return fmt.Errorf("wire: %s", rep.Err)
+}
+
+// errReply builds a reply from an error (server side), stamping its code.
+func errReply(err error, rep Reply) Reply {
+	if err != nil {
+		return Reply{Err: err.Error(), Code: ErrCode(err)}
+	}
+	return rep
+}

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAppendReqCodec round-trips arbitrary append requests through the
+// binary codec and feeds every truncation of the encoding back to the
+// decoder, which must reject it without panicking.
+func FuzzAppendReqCodec(f *testing.F) {
+	f.Add("a/b/0.#epoch.0", []byte("payload"), "w-1", int64(9), int32(2), int64(-1))
+	f.Add("", []byte{}, "", int64(0), int32(0), int64(0))
+	f.Add("s", []byte{0xFF}, "writer", int64(-1), int32(1), int64(1<<40))
+	f.Fuzz(func(t *testing.T, seg string, data []byte, wid string, num int64, count int32, cond int64) {
+		req := AppendReq{
+			Segment: seg, Data: data, WriterID: wid,
+			EventNum: num, EventCount: count, CondOffset: cond,
+		}
+		body := req.marshalBinary(nil)
+		got, err := unmarshalAppendReq(body)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if got.Segment != req.Segment || !bytes.Equal(got.Data, req.Data) ||
+			got.WriterID != req.WriterID || got.EventNum != req.EventNum ||
+			got.EventCount != req.EventCount || got.CondOffset != req.CondOffset {
+			t.Fatalf("round trip: %+v != %+v", got, req)
+		}
+		for i := 0; i < len(body); i++ {
+			if _, err := unmarshalAppendReq(body[:i]); err == nil {
+				t.Fatalf("truncated body (%d/%d bytes) accepted", i, len(body))
+			}
+		}
+	})
+}
+
+// FuzzReadReqCodec round-trips arbitrary read requests and rejects
+// truncations.
+func FuzzReadReqCodec(f *testing.F) {
+	f.Add("s/x/3", int64(1<<40), int32(65536), int32(250))
+	f.Add("", int64(0), int32(0), int32(0))
+	f.Fuzz(func(t *testing.T, seg string, off int64, maxBytes, waitMS int32) {
+		req := ReadReq{Segment: seg, Offset: off, MaxBytes: int(maxBytes), WaitMS: int64(waitMS)}
+		body := req.marshalBinary(nil)
+		got, err := unmarshalReadReq(body)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if got != req {
+			t.Fatalf("round trip: %+v != %+v", got, req)
+		}
+		for i := 0; i < len(body); i++ {
+			if _, err := unmarshalReadReq(body[:i]); err == nil {
+				t.Fatalf("truncated body (%d/%d bytes) accepted", i, len(body))
+			}
+		}
+	})
+}
+
+// FuzzReplyCodec round-trips arbitrary binary replies — including the error
+// code field the client maps back to sentinel errors — and rejects
+// truncations.
+func FuzzReplyCodec(f *testing.F) {
+	f.Add("", int32(0), int64(1234), []byte("abc"), true, int32(3))
+	f.Add("segment sealed", int32(codeSegmentSealed), int64(0), []byte{}, false, int32(0))
+	f.Add("disconnected", int32(codeDisconnected), int64(-1), []byte{0}, true, int32(-5))
+	f.Fuzz(func(t *testing.T, errMsg string, code int32, off int64, data []byte, eos bool, count int32) {
+		rep := Reply{Err: errMsg, Code: int(code), Offset: off, Data: data, EOS: eos, Count: int(count)}
+		var buf bytes.Buffer
+		if err := writeBinReply(&buf, 7, &rep); err != nil {
+			t.Skip() // oversized payload; writer rejects by design
+		}
+		typ, id, raw, err := readMessage(&buf)
+		if err != nil {
+			t.Fatalf("reading own frame: %v", err)
+		}
+		if typ != MsgReplyBin || id != 7 {
+			t.Fatalf("frame header: type=%d id=%d", typ, id)
+		}
+		got, err := unmarshalReplyBin(raw)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if got.Err != rep.Err || got.Code != rep.Code || got.Offset != rep.Offset ||
+			!bytes.Equal(got.Data, rep.Data) || got.EOS != rep.EOS || got.Count != rep.Count {
+			t.Fatalf("round trip: %+v != %+v", got, rep)
+		}
+		for i := 0; i < len(raw); i++ {
+			if _, err := unmarshalReplyBin(raw[:i]); err == nil {
+				t.Fatalf("truncated reply (%d/%d bytes) accepted", i, len(raw))
+			}
+		}
+	})
+}
+
+// FuzzReadMessage throws arbitrary byte streams at the frame reader: it must
+// either produce a frame or an error, never panic or over-read.
+func FuzzReadMessage(f *testing.F) {
+	var seed bytes.Buffer
+	_ = writeRequest(&seed, MsgAppend, 42, AppendReq{Segment: "s", Data: []byte("d"), CondOffset: -1})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgAppend), 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		for {
+			if _, _, _, err := readMessage(r); err != nil {
+				return
+			}
+		}
+	})
+}

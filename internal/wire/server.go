@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -10,10 +11,8 @@ import (
 
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/hosting"
-	"github.com/pravega-go/pravega/internal/keyspace"
 	"github.com/pravega-go/pravega/internal/obs"
 	"github.com/pravega-go/pravega/internal/segstore"
-	"github.com/pravega-go/pravega/pkg/pravega"
 )
 
 // Process-wide series for the wire protocol server.
@@ -26,11 +25,14 @@ var (
 		"Replies coalesced into one connection flush")
 )
 
-// Server exposes a full Pravega node (control plane + data plane of an
-// in-process cluster) over TCP.
+// Server exposes a Pravega node — the data plane of a hosted cluster plus
+// its control plane — over TCP. It is decoupled from the public client
+// package: pravega.Connect dials it through the same wire protocol any
+// external client would use.
 type Server struct {
-	sys *pravega.System
-	ln  net.Listener
+	cl   *hosting.Cluster
+	ctrl *controller.Controller
+	ln   net.Listener
 
 	mu     sync.Mutex
 	closed bool
@@ -38,13 +40,14 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer starts listening on addr and serving the given system.
-func NewServer(sys *pravega.System, addr string) (*Server, error) {
+// NewServer starts listening on addr, serving the given cluster and
+// controller (both stay owned by the caller).
+func NewServer(cl *hosting.Cluster, ctrl *controller.Controller, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{sys: sys, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{cl: cl, ctrl: ctrl, ln: ln, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -53,8 +56,10 @@ func NewServer(sys *pravega.System, addr string) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and open connections (the system is left to the
-// caller).
+// Close stops the listener and open connections (the cluster and
+// controller are left to the caller). It returns only after every serve
+// goroutine has drained, so no request started before Close is still being
+// enqueued when it returns.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -159,6 +164,50 @@ func (rw *replyWriter) loop() {
 	}
 }
 
+// inflightReads tracks one connection's cancellable long-poll reads by
+// request id, so MsgCancelRead can unblock them.
+type inflightReads struct {
+	mu sync.Mutex
+	m  map[uint64]context.CancelFunc
+}
+
+func (ir *inflightReads) add(id uint64, cancel context.CancelFunc) {
+	ir.mu.Lock()
+	if ir.m == nil {
+		ir.m = make(map[uint64]context.CancelFunc)
+	}
+	ir.m[id] = cancel
+	ir.mu.Unlock()
+}
+
+func (ir *inflightReads) remove(id uint64) {
+	ir.mu.Lock()
+	delete(ir.m, id)
+	ir.mu.Unlock()
+}
+
+func (ir *inflightReads) cancel(id uint64) {
+	ir.mu.Lock()
+	cancel := ir.m[id]
+	ir.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+func (ir *inflightReads) cancelAll() {
+	ir.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(ir.m))
+	for _, c := range ir.m {
+		cancels = append(cancels, c)
+	}
+	ir.m = nil
+	ir.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+}
+
 func (s *Server) serve(conn net.Conn) {
 	defer s.wg.Done()
 	mConnections.Add(1)
@@ -168,15 +217,22 @@ func (s *Server) serve(conn net.Conn) {
 		kick: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
+	var reads inflightReads
 	loopDone := make(chan struct{})
 	go func() {
 		defer close(loopDone)
 		rw.loop()
 	}()
+	// Goroutines spawned per long-poll read and per control request must
+	// finish before serve returns, or Server.Close could return while a
+	// request still touches the cluster.
+	var reqWG sync.WaitGroup
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		reads.cancelAll()
+		reqWG.Wait()
 		close(rw.done)
 		<-loopDone
 		_ = conn.Close()
@@ -195,18 +251,20 @@ func (s *Server) serve(conn net.Conn) {
 		case MsgAppend:
 			req, err := unmarshalAppendReq(body)
 			if err != nil {
-				rw.send(id, Reply{Err: err.Error()}, true)
+				rw.send(id, errReply(err, Reply{}), true)
 				continue
 			}
-			cont, err := s.sys.Cluster().ContainerFor(req.Segment)
+			cont, err := s.cl.ContainerFor(req.Segment)
 			if err != nil {
-				rw.send(id, Reply{Err: err.Error()}, true)
+				rw.send(id, errReply(err, Reply{}), true)
 				continue
 			}
 			if req.CondOffset >= 0 {
 				// Conditional appends block for durability; rare enough to
 				// afford a goroutine.
+				reqWG.Add(1)
 				go func(id uint64, req AppendReq) {
+					defer reqWG.Done()
 					off, err := cont.AppendConditional(req.Segment, req.Data, req.CondOffset)
 					rw.send(id, errReply(err, Reply{Offset: off}), true)
 				}(id, req)
@@ -222,137 +280,164 @@ func (s *Server) serve(conn net.Conn) {
 		case MsgRead:
 			req, err := unmarshalReadReq(body)
 			if err != nil {
-				rw.send(id, Reply{Err: err.Error()}, true)
+				rw.send(id, errReply(err, Reply{}), true)
 				continue
 			}
-			// Reads may long-poll; each gets its own goroutine.
+			// Reads may long-poll; each gets its own goroutine and a cancel
+			// handle for MsgCancelRead.
+			ctx, cancel := context.WithCancel(context.Background())
+			reads.add(id, cancel)
+			reqWG.Add(1)
 			go func(id uint64, req ReadReq) {
-				rw.send(id, s.handleRead(req), true)
+				defer reqWG.Done()
+				defer reads.remove(id)
+				defer cancel()
+				rw.send(id, s.handleRead(ctx, req), true)
 			}(id, req)
+		case MsgCancelRead:
+			var req CancelReq
+			if err := json.Unmarshal(body, &req); err == nil {
+				reads.cancel(req.ReqID)
+			}
+			rw.send(id, Reply{}, false)
 		default:
 			bodyCopy := append([]byte(nil), body...)
+			reqWG.Add(1)
 			go func(t MessageType, id uint64, body []byte) {
+				defer reqWG.Done()
 				rw.send(id, s.handle(t, body), false)
 			}(t, id, bodyCopy)
 		}
 	}
 }
 
-// handleRead serves a (long-poll) segment read.
-func (s *Server) handleRead(req ReadReq) Reply {
-	cont, err := s.sys.Cluster().ContainerFor(req.Segment)
+// handleRead serves a (long-poll) segment read. Cancelling ctx unblocks a
+// tail wait immediately.
+func (s *Server) handleRead(ctx context.Context, req ReadReq) Reply {
+	cont, err := s.cl.ContainerFor(req.Segment)
 	if err != nil {
-		return Reply{Err: err.Error()}
+		return errReply(err, Reply{})
 	}
-	res, err := cont.Read(req.Segment, req.Offset, req.MaxBytes, time.Duration(req.WaitMS)*time.Millisecond)
+	res, err := cont.ReadCtx(ctx, req.Segment, req.Offset, req.MaxBytes, time.Duration(req.WaitMS)*time.Millisecond)
 	if err != nil {
-		return Reply{Err: err.Error()}
+		return errReply(err, Reply{})
 	}
 	return Reply{Data: res.Data, Offset: res.Offset, EOS: res.EndOfSegment}
 }
 
-func errReply(err error, rep Reply) Reply {
-	if err != nil {
-		return Reply{Err: err.Error()}
-	}
-	return rep
-}
-
 func (s *Server) handle(t MessageType, body []byte) Reply {
-	cl := s.sys.Cluster()
-	ctrl := s.sys.Controller()
+	cl := s.cl
+	ctrl := s.ctrl
 	switch t {
 	case MsgCreateSegment:
 		var req SegmentReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		return errReply(cl.CreateSegment(req.Segment), Reply{})
 	case MsgSeal:
 		var req SegmentReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		n, err := cl.SealSegment(req.Segment)
 		return errReply(err, Reply{Offset: n})
 	case MsgTruncate:
 		var req SegmentReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		return errReply(cl.TruncateSegment(req.Segment, req.Offset), Reply{})
 	case MsgDeleteSegment:
 		var req SegmentReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		return errReply(cl.DeleteSegment(req.Segment), Reply{})
 	case MsgGetInfo:
 		var req SegmentReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		info, err := cl.SegmentInfo(req.Segment)
 		if err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		raw, _ := json.Marshal(info)
 		return Reply{JSON: raw}
 	case MsgWriterState:
 		var req SegmentReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		cont, err := cl.ContainerFor(req.Segment)
 		if err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		n, err := cont.WriterState(req.Segment, req.WriterID)
 		return errReply(err, Reply{Offset: n})
 	case MsgCreateScope:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		return errReply(ctrl.CreateScope(req.Scope), Reply{})
 	case MsgCreateStream:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
-		return errReply(ctrl.CreateStream(controller.StreamConfig{
+		cfg := controller.StreamConfig{
 			Scope: req.Scope, Name: req.Stream, InitialSegments: req.Segments,
-		}), Reply{})
+		}
+		if req.Scaling != nil {
+			cfg.Scaling = *req.Scaling
+		}
+		if req.Retention != nil {
+			cfg.Retention = *req.Retention
+		}
+		return errReply(ctrl.CreateStream(cfg), Reply{})
 	case MsgActiveSegments:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		segs, err := ctrl.GetActiveSegments(req.Scope, req.Stream)
 		if err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		raw, _ := json.Marshal(segs)
 		return Reply{JSON: raw, Count: len(segs)}
 	case MsgSuccessors:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		succ, err := ctrl.GetSuccessors(req.Scope, req.Stream, req.Segment)
 		if err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		raw, _ := json.Marshal(succ)
 		return Reply{JSON: raw, Count: len(succ)}
+	case MsgHeadSegments:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		heads, err := ctrl.GetHeadSegments(req.Scope, req.Stream)
+		if err != nil {
+			return errReply(err, Reply{})
+		}
+		raw, _ := json.Marshal(heads)
+		return Reply{JSON: raw, Count: len(heads)}
 	case MsgScale:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		segs, err := ctrl.GetActiveSegments(req.Scope, req.Stream)
 		if err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		for _, sr := range segs {
 			if sr.ID.Number == req.SealSegment {
@@ -364,24 +449,75 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 					[]int64{req.SealSegment}, sr.KeyRange.Split(factor)), Reply{})
 			}
 		}
-		return Reply{Err: fmt.Sprintf("segment %d not active", req.SealSegment)}
+		return Reply{Err: fmt.Sprintf("segment %d not active", req.SealSegment), Code: ErrCode(controller.ErrBadScale)}
+	case MsgScaleSegments:
+		var req ScaleReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		return errReply(ctrl.Scale(req.Scope, req.Stream, req.Seal, req.Ranges), Reply{})
 	case MsgSealStream:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		return errReply(ctrl.SealStream(req.Scope, req.Stream), Reply{})
+	case MsgTruncateStream:
+		var req TruncateStreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		return errReply(ctrl.TruncateStream(req.Scope, req.Stream, controller.StreamCut(req.Cut)), Reply{})
+	case MsgDeleteStream:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		return errReply(ctrl.DeleteStream(req.Scope, req.Stream), Reply{})
+	case MsgStreamConfig:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		cfg, err := ctrl.StreamConfigOf(req.Scope, req.Stream)
+		if err != nil {
+			return errReply(err, Reply{})
+		}
+		raw, _ := json.Marshal(cfg)
+		return Reply{JSON: raw}
+	case MsgUpdatePolicies:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		return errReply(ctrl.UpdateStreamPolicies(req.Scope, req.Stream, req.Scaling, req.Retention), Reply{})
+	case MsgIsSealed:
+		var req StreamReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		sealed, err := ctrl.IsStreamSealed(req.Scope, req.Stream)
+		n := 0
+		if sealed {
+			n = 1
+		}
+		return errReply(err, Reply{Count: n})
 	case MsgSegmentCount:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
-			return Reply{Err: err.Error()}
+			return errReply(err, Reply{})
 		}
 		n, err := ctrl.SegmentCount(req.Scope, req.Stream)
 		return errReply(err, Reply{Count: n})
+	case MsgClusterInfo:
+		info := ClusterInfo{
+			TotalContainers: cl.TotalContainers(),
+			Stores:          len(cl.Stores()),
+			ContainerHome:   cl.ContainerHomes(),
+		}
+		raw, _ := json.Marshal(info)
+		return Reply{JSON: raw}
 	default:
 		return Reply{Err: fmt.Sprintf("wire: unknown request type %d", t)}
 	}
 }
-
-var _ = hosting.ClusterConfig{} // server bundles a hosted deployment
-var _ = keyspace.FullRange

@@ -20,6 +20,9 @@ import (
 	"io"
 	"net"
 	"sync"
+
+	"github.com/pravega-go/pravega/internal/controller"
+	"github.com/pravega-go/pravega/internal/keyspace"
 )
 
 // MessageType tags a request or response.
@@ -48,6 +51,16 @@ const (
 	// encoding used for append/read responses.
 	MsgReply
 	MsgReplyBin
+	// Second-generation requests (full remote client).
+	MsgHeadSegments
+	MsgTruncateStream
+	MsgDeleteStream
+	MsgStreamConfig
+	MsgUpdatePolicies
+	MsgIsSealed
+	MsgScaleSegments
+	MsgCancelRead
+	MsgClusterInfo
 )
 
 // Every message is preceded by a fixed header: 4-byte body length, 1-byte
@@ -145,16 +158,78 @@ type StreamReq struct {
 	Factor      int   `json:"factor,omitempty"`
 	// Successors query.
 	Segment int64 `json:"segment,omitempty"`
+	// Stream policies (create stream / update policies).
+	Scaling   *controller.ScalingPolicy   `json:"scaling,omitempty"`
+	Retention *controller.RetentionPolicy `json:"retention,omitempty"`
 }
 
-// Reply is the uniform response body.
+// ScaleReq is the general scale request: seal the listed segments and
+// replace them with new segments over the given key ranges (Fig. 2b).
+type ScaleReq struct {
+	Scope  string           `json:"scope"`
+	Stream string           `json:"stream"`
+	Seal   []int64          `json:"seal"`
+	Ranges []keyspace.Range `json:"ranges"`
+}
+
+// TruncateStreamReq truncates a stream at a consistent cut.
+type TruncateStreamReq struct {
+	Scope  string          `json:"scope"`
+	Stream string          `json:"stream"`
+	Cut    map[int64]int64 `json:"cut"`
+}
+
+// CancelReq asks the server to cancel the long-poll read issued under
+// ReqID on the same connection.
+type CancelReq struct {
+	ReqID uint64 `json:"reqId"`
+}
+
+// ClusterInfo describes the served deployment to a connecting client: how
+// many containers the keyspace hashes over and which store index hosts
+// each, so the client can open one connection per store and route appends
+// like the in-process path does.
+type ClusterInfo struct {
+	TotalContainers int         `json:"totalContainers"`
+	Stores          int         `json:"stores"`
+	ContainerHome   map[int]int `json:"containerHome"`
+}
+
+// Reply is the uniform response body. Code carries the error's sentinel
+// identity across the wire (see errcode.go) so clients can reconstruct an
+// errors.Is-matchable chain; Err keeps the human-readable message.
 type Reply struct {
 	Err    string          `json:"err,omitempty"`
+	Code   int             `json:"code,omitempty"`
 	Offset int64           `json:"offset,omitempty"`
 	Data   []byte          `json:"data,omitempty"`
 	EOS    bool            `json:"eos,omitempty"`
 	Count  int             `json:"count,omitempty"`
 	JSON   json.RawMessage `json:"json,omitempty"`
+}
+
+// pendingReply is one outstanding request's completion route: a one-slot
+// channel (synchronous calls) or a callback (pipelined appends). The
+// descriptor is pooled; after delivery it must not be retained.
+type pendingReply struct {
+	ch chan Reply  // nil when cb is set
+	cb func(Reply) // nil when ch is set
+}
+
+var pendingReplyPool = sync.Pool{New: func() any { return new(pendingReply) }}
+
+// deliver routes the reply and recycles the descriptor. Callbacks run on
+// the connection's read goroutine (or the failing caller) and must not
+// block: a slow callback stalls every later reply on the connection.
+func (p *pendingReply) deliver(rep Reply) {
+	ch, cb := p.ch, p.cb
+	*p = pendingReply{}
+	pendingReplyPool.Put(p)
+	if cb != nil {
+		cb(rep)
+	} else {
+		ch <- rep
+	}
 }
 
 // Conn is a pipelined client connection.
@@ -165,7 +240,7 @@ type Conn struct {
 	conn   net.Conn
 
 	pendMu  sync.Mutex
-	pending map[uint64]chan Reply
+	pending map[uint64]*pendingReply
 	readErr error
 	closed  bool
 }
@@ -179,7 +254,7 @@ func Dial(addr string) (*Conn, error) {
 	c := &Conn{
 		conn:    nc,
 		wr:      bufio.NewWriter(nc),
-		pending: make(map[uint64]chan Reply),
+		pending: make(map[uint64]*pendingReply),
 	}
 	go c.readLoop()
 	return c, nil
@@ -211,60 +286,108 @@ func (c *Conn) readLoop() {
 			return
 		}
 		c.pendMu.Lock()
-		ch := c.pending[id]
+		p := c.pending[id]
 		delete(c.pending, id)
 		c.pendMu.Unlock()
-		if ch != nil {
-			ch <- rep
+		if p != nil {
+			p.deliver(rep)
 		}
 	}
 }
 
+// failAll fails every outstanding request with a disconnection reply. The
+// error code travels with the reply so callers can errors.Is-match
+// client.ErrDisconnected and engage their recovery path.
 func (c *Conn) failAll(err error) {
 	c.pendMu.Lock()
 	c.readErr = err
-	for id, ch := range c.pending {
-		ch <- Reply{Err: err.Error()}
+	pend := make([]*pendingReply, 0, len(c.pending))
+	for id, p := range c.pending {
+		pend = append(pend, p)
 		delete(c.pending, id)
 	}
 	c.pendMu.Unlock()
+	// Deliver outside pendMu: callback completions may issue new calls,
+	// which take pendMu.
+	for _, p := range pend {
+		p.deliver(Reply{Err: err.Error(), Code: codeDisconnected})
+	}
 }
 
-// Call sends a request and waits for its reply.
+// Err returns the terminal connection error, or nil while healthy.
+func (c *Conn) Err() error {
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	if c.readErr != nil {
+		return c.readErr
+	}
+	if c.closed {
+		return net.ErrClosed
+	}
+	return nil
+}
+
+// Call sends a request and waits for its reply. A reply carrying an error
+// is returned as an error whose chain includes the sentinel its code names
+// (ReplyError).
 func (c *Conn) Call(t MessageType, body any) (Reply, error) {
-	ch, err := c.CallAsync(t, body)
+	ch, _, err := c.CallAsync(t, body)
 	if err != nil {
 		return Reply{}, err
 	}
 	rep := <-ch
 	if rep.Err != "" {
-		return rep, fmt.Errorf("wire: %s", rep.Err)
+		return rep, ReplyError(rep)
 	}
 	return rep, nil
 }
 
 // CallAsync sends a request; the reply arrives on the returned channel.
-// Requests issued from one goroutine are written in order.
-func (c *Conn) CallAsync(t MessageType, body any) (<-chan Reply, error) {
+// Requests issued from one goroutine are written in order. The request id
+// is returned for cancellation (MsgCancelRead).
+func (c *Conn) CallAsync(t MessageType, body any) (<-chan Reply, uint64, error) {
+	p := pendingReplyPool.Get().(*pendingReply)
 	ch := make(chan Reply, 1)
+	p.ch = ch
+	id, err := c.send(t, body, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ch, id, nil
+}
+
+// CallAsyncFunc sends a request with callback delivery: cb fires exactly
+// once — from the connection's read goroutine (in server reply order, which
+// for appends to one segment is submission order) or from failAll on
+// connection loss. cb must not block.
+func (c *Conn) CallAsyncFunc(t MessageType, body any, cb func(Reply)) error {
+	p := pendingReplyPool.Get().(*pendingReply)
+	p.cb = cb
+	_, err := c.send(t, body, p)
+	return err
+}
+
+func (c *Conn) send(t MessageType, body any, p *pendingReply) (uint64, error) {
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
 	// The liveness check and the pending registration share one pendMu
 	// critical section: if the read loop fails between them it cannot miss
 	// this entry (failAll either already reported the error here, or will
-	// drain the registered channel).
+	// drain the registered descriptor).
 	c.pendMu.Lock()
 	if c.readErr != nil || c.closed {
 		err := c.readErr
 		c.pendMu.Unlock()
 		c.mu.Unlock()
+		*p = pendingReply{}
+		pendingReplyPool.Put(p)
 		if err == nil {
 			err = net.ErrClosed
 		}
-		return nil, err
+		return 0, err
 	}
-	c.pending[id] = ch
+	c.pending[id] = p
 	c.pendMu.Unlock()
 	err := writeRequest(c.wr, t, id, body)
 	if err == nil {
@@ -273,11 +396,31 @@ func (c *Conn) CallAsync(t MessageType, body any) (<-chan Reply, error) {
 	c.mu.Unlock()
 	if err != nil {
 		c.pendMu.Lock()
+		reg := c.pending[id]
 		delete(c.pending, id)
 		c.pendMu.Unlock()
-		return nil, err
+		if reg != nil {
+			*reg = pendingReply{}
+			pendingReplyPool.Put(reg)
+		}
+		return 0, err
 	}
-	return ch, nil
+	return id, nil
+}
+
+// Cancel asks the server to abort the long-poll read issued under reqID.
+// The original request still receives its reply (typically a cancellation
+// error).
+func (c *Conn) Cancel(reqID uint64) {
+	// Fire-and-forget: no pending registration. The server's ack carries an
+	// id the read loop never registered, so it is dropped by design.
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	if err := writeRequest(c.wr, MsgCancelRead, id, CancelReq{ReqID: reqID}); err == nil {
+		_ = c.wr.Flush()
+	}
+	c.mu.Unlock()
 }
 
 // Close tears the connection down.
@@ -285,5 +428,7 @@ func (c *Conn) Close() error {
 	c.pendMu.Lock()
 	c.closed = true
 	c.pendMu.Unlock()
-	return c.conn.Close()
+	err := c.conn.Close()
+	c.failAll(net.ErrClosed)
+	return err
 }

@@ -9,19 +9,28 @@ import (
 
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/hosting"
-	"github.com/pravega-go/pravega/pkg/pravega"
 )
+
+// newBackend builds the cluster and controller a wire server fronts.
+func newBackend(tb testing.TB, cfg hosting.ClusterConfig) (*hosting.Cluster, *controller.Controller) {
+	tb.Helper()
+	cl, err := hosting.NewCluster(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(cl.Close)
+	ctrl, err := controller.New(controller.Config{Data: cl, Cluster: cl.Meta})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(ctrl.Close)
+	return cl, ctrl
+}
 
 func newServer(t *testing.T) (*Server, *Conn) {
 	t.Helper()
-	sys, err := pravega.NewInProcess(pravega.SystemConfig{
-		Cluster: hosting.ClusterConfig{Stores: 1, ContainersPerStore: 2, Bookies: 3},
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(sys.Close)
-	srv, err := NewServer(sys, "127.0.0.1:0")
+	cl, ctrl := newBackend(t, hosting.ClusterConfig{Stores: 1, ContainersPerStore: 2, Bookies: 3})
+	srv, err := NewServer(cl, ctrl, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +134,7 @@ func TestWirePipelinedAppends(t *testing.T) {
 	chans := make([]<-chan Reply, n)
 	for i := 0; i < n; i++ {
 		data := []byte(fmt.Sprintf("%04d", i))
-		ch, err := conn.CallAsync(MsgAppend, AppendReq{
+		ch, _, err := conn.CallAsync(MsgAppend, AppendReq{
 			Segment: seg, Data: data, WriterID: "pw", EventNum: int64(i + 1), EventCount: 1, CondOffset: -1,
 		})
 		if err != nil {

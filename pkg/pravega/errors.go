@@ -3,6 +3,7 @@ package pravega
 import (
 	"errors"
 
+	"github.com/pravega-go/pravega/internal/client"
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/segstore"
 )
@@ -36,6 +37,12 @@ var (
 	// ErrSegmentTruncated is returned when reading below a segment's
 	// truncation point (retention moved the head past the offset).
 	ErrSegmentTruncated = errors.New("pravega: offset below truncation point")
+	// ErrDisconnected is returned by a remote System (Connect) when an
+	// operation could not complete because the connection to the server was
+	// lost and not re-established within the retry window. Writers recover
+	// from it transparently (their futures only fail after the window
+	// elapses); synchronous callers may retry once connectivity returns.
+	ErrDisconnected = errors.New("pravega: disconnected from server")
 )
 
 // apiError pairs a public sentinel with its internal cause. Unwrap returns
@@ -61,6 +68,7 @@ var sentinelPairs = []struct{ internal, public error }{
 	{controller.ErrStreamExists, ErrStreamExists},
 	{controller.ErrStreamNotFound, ErrStreamNotFound},
 	{controller.ErrStreamSealed, ErrStreamSealed},
+	{client.ErrDisconnected, ErrDisconnected},
 }
 
 // ErrSegmentExists is returned when creating a segment that already exists

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
-	"github.com/pravega-go/pravega/internal/hosting"
+	"github.com/pravega-go/pravega/internal/client"
 	"github.com/pravega-go/pravega/internal/kvtable"
 )
 
@@ -34,10 +34,10 @@ type TableOp = kvtable.TxnOp
 // NewKeyValueTable opens (creating if needed) the named table in a scope.
 func (s *System) NewKeyValueTable(scope, name string) (*KeyValueTable, error) {
 	seg := fmt.Sprintf("%s/_kvtable-%s/0.#epoch.0", scope, name)
-	if err := s.cluster.CreateSegment(seg); err != nil && !isExists(err) {
+	conn := s.newData()
+	if err := conn.CreateSegment(seg); err != nil && !isExists(err) {
 		return nil, err
 	}
-	conn := s.cluster.NewClientConn(s.profile)
 	backing := &kvBacking{conn: conn, segment: seg}
 	// The instance id only needs to differ between concurrently open
 	// handles; the connection pointer value's low bits suffice.
@@ -49,7 +49,7 @@ var kvInstanceCounter atomic.Int64
 func instanceID() int64 { return kvInstanceCounter.Add(1) }
 
 type kvBacking struct {
-	conn    *hosting.Conn
+	conn    client.DataTransport
 	segment string
 }
 

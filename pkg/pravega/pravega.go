@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/pravega-go/pravega/internal/client"
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/hosting"
 	"github.com/pravega-go/pravega/internal/keyspace"
 	"github.com/pravega-go/pravega/internal/obs"
 	"github.com/pravega-go/pravega/internal/sim"
+	"github.com/pravega-go/pravega/internal/wire"
 )
 
 // ScalingType selects the auto-scaling trigger of a stream policy.
@@ -113,10 +115,17 @@ type SystemConfig struct {
 	TraceSampleEvery int
 }
 
-// System is a running Pravega deployment plus its control plane.
+// System is a handle on a Pravega deployment: either a full in-process
+// deployment (NewInProcess) or a remote one reached over the wire protocol
+// (Connect). Every client-facing method goes through the transport
+// interfaces of internal/client, so writers, readers, reader groups and KV
+// tables behave identically over both.
 type System struct {
-	cluster *hosting.Cluster
-	ctrl    *controller.Controller
+	cluster *hosting.Cluster        // nil for Connect systems
+	ctrl    *controller.Controller  // nil for Connect systems
+	control client.ControlTransport // control-plane transport
+	newData func() client.DataTransport
+	remote  *wire.Client // set by Connect; closed with the System
 	profile *sim.Profile
 	obsSrv  *obs.Server
 }
@@ -140,7 +149,8 @@ func NewInProcess(cfg SystemConfig) (*System, error) {
 	if cfg.PolicyInterval > 0 {
 		ctrl.StartPolicyLoops(cfg.PolicyInterval)
 	}
-	s := &System{cluster: cl, ctrl: ctrl, profile: cfg.Profile}
+	s := &System{cluster: cl, ctrl: ctrl, control: ctrl, profile: cfg.Profile}
+	s.newData = func() client.DataTransport { return cl.NewClientConn(cfg.Profile) }
 	if cfg.TraceSampleEvery > 0 {
 		obs.AppendTraces().SetSampleEvery(cfg.TraceSampleEvery)
 	}
@@ -155,13 +165,65 @@ func NewInProcess(cfg SystemConfig) (*System, error) {
 	return s, nil
 }
 
-// Close shuts the deployment down.
+// ClientConfig tunes a remote System opened with Connect.
+type ClientConfig struct {
+	// ReconnectMinBackoff/ReconnectMaxBackoff bound the capped exponential
+	// backoff used to re-establish lost server connections (defaults 5ms
+	// and 1s).
+	ReconnectMinBackoff time.Duration
+	ReconnectMaxBackoff time.Duration
+	// SyncRetryWindow is how long synchronous operations keep retrying
+	// across a lost connection before failing with ErrDisconnected
+	// (default 15s). Pipelined appends never retry at the transport — the
+	// event writer replays them after reconnecting, preserving exactly-once
+	// semantics.
+	SyncRetryWindow time.Duration
+}
+
+// Connect opens a remote System over the wire protocol (one pooled,
+// pipelined connection per segment store, served by cmd/pravega-server or
+// wire.NewServer). The returned System supports the full client API —
+// writers, readers, reader groups, state-synchronized KV tables — with the
+// same semantics as an in-process deployment; Cluster and Controller
+// return nil for it.
+func Connect(addr string, cfg ClientConfig) (*System, error) {
+	wc, err := wire.NewClient(addr, wire.ClientConfig{
+		MinBackoff:      cfg.ReconnectMinBackoff,
+		MaxBackoff:      cfg.ReconnectMaxBackoff,
+		SyncRetryWindow: cfg.SyncRetryWindow,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &System{control: wc, remote: wc}
+	// All client components share the pooled wire client; their individual
+	// Close calls must not tear it down.
+	s.newData = func() client.DataTransport { return noCloseData{wc} }
+	return s, nil
+}
+
+// noCloseData shares one data transport among many components, absorbing
+// their Close calls (the System owns the underlying client).
+type noCloseData struct {
+	client.DataTransport
+}
+
+func (noCloseData) Close() error { return nil }
+
+// Close shuts the deployment (or remote connection) down.
 func (s *System) Close() {
 	if s.obsSrv != nil {
 		_ = s.obsSrv.Close()
 	}
-	s.ctrl.Close()
-	s.cluster.Close()
+	if s.ctrl != nil {
+		s.ctrl.Close()
+	}
+	if s.cluster != nil {
+		s.cluster.Close()
+	}
+	if s.remote != nil {
+		_ = s.remote.Close()
+	}
 }
 
 // MetricsAddr returns the bound address of the observability endpoint, or
@@ -174,18 +236,20 @@ func (s *System) MetricsAddr() string {
 }
 
 // Cluster exposes the underlying deployment (advanced use: failure
-// injection in tests, metrics in the benchmark harness).
+// injection in tests, metrics in the benchmark harness). It is nil for a
+// System opened with Connect.
 func (s *System) Cluster() *hosting.Cluster { return s.cluster }
 
-// Controller exposes the control plane (advanced use).
+// Controller exposes the control plane (advanced use). It is nil for a
+// System opened with Connect.
 func (s *System) Controller() *controller.Controller { return s.ctrl }
 
 // CreateScope registers a stream namespace.
-func (s *System) CreateScope(scope string) error { return convertErr(s.ctrl.CreateScope(scope)) }
+func (s *System) CreateScope(scope string) error { return convertErr(s.control.CreateScope(scope)) }
 
 // CreateStream creates a stream.
 func (s *System) CreateStream(cfg StreamConfig) error {
-	return convertErr(s.ctrl.CreateStream(controller.StreamConfig{
+	return convertErr(s.control.CreateStream(controller.StreamConfig{
 		Scope:           cfg.Scope,
 		Name:            cfg.Name,
 		InitialSegments: cfg.InitialSegments,
@@ -229,35 +293,35 @@ func (s *System) UpdateStreamPolicies(scope, stream string, scaling *ScalingPoli
 			LimitDuration: retention.LimitDuration,
 		}
 	}
-	return convertErr(s.ctrl.UpdateStreamPolicies(scope, stream, sp, rp))
+	return convertErr(s.control.UpdateStreamPolicies(scope, stream, sp, rp))
 }
 
 // SealStream makes a stream read-only.
 func (s *System) SealStream(scope, stream string) error {
-	return convertErr(s.ctrl.SealStream(scope, stream))
+	return convertErr(s.control.SealStream(scope, stream))
 }
 
 // DeleteStream removes a sealed stream.
 func (s *System) DeleteStream(scope, stream string) error {
-	return convertErr(s.ctrl.DeleteStream(scope, stream))
+	return convertErr(s.control.DeleteStream(scope, stream))
 }
 
 // SegmentCount reports the stream's current parallelism.
 func (s *System) SegmentCount(scope, stream string) (int, error) {
-	n, err := s.ctrl.SegmentCount(scope, stream)
+	n, err := s.control.SegmentCount(scope, stream)
 	return n, convertErr(err)
 }
 
 // ScaleStream manually splits one active segment into factor successors
 // (auto-scaling does this from load; the manual form serves admin tooling).
 func (s *System) ScaleStream(scope, stream string, segmentNumber int64, factor int) error {
-	segs, err := s.ctrl.GetActiveSegments(scope, stream)
+	segs, err := s.control.GetActiveSegments(scope, stream)
 	if err != nil {
 		return convertErr(err)
 	}
 	for _, sr := range segs {
 		if sr.ID.Number == segmentNumber {
-			return convertErr(s.ctrl.Scale(scope, stream, []int64{segmentNumber}, sr.KeyRange.Split(factor)))
+			return convertErr(s.control.Scale(scope, stream, []int64{segmentNumber}, sr.KeyRange.Split(factor)))
 		}
 	}
 	return fmt.Errorf("pravega: segment %d is not active in %s/%s", segmentNumber, scope, stream)
@@ -266,19 +330,21 @@ func (s *System) ScaleStream(scope, stream string, segmentNumber int64, factor i
 // TruncateStreamAtTail truncates the whole stream history up to "now": it
 // records the current tail as a stream cut and truncates there.
 func (s *System) TruncateStreamAtTail(scope, stream string) error {
-	segs, err := s.ctrl.GetActiveSegments(scope, stream)
+	segs, err := s.control.GetActiveSegments(scope, stream)
 	if err != nil {
 		return convertErr(err)
 	}
+	d := s.newData()
+	defer d.Close()
 	cut := make(controller.StreamCut, len(segs))
 	for _, sr := range segs {
-		info, err := s.cluster.SegmentInfo(sr.ID.QualifiedName())
+		info, err := d.GetInfo(sr.ID.QualifiedName())
 		if err != nil {
 			return convertErr(err)
 		}
 		cut[sr.ID.Number] = info.Length
 	}
-	return convertErr(s.ctrl.TruncateStream(scope, stream, cut))
+	return convertErr(s.control.TruncateStream(scope, stream, cut))
 }
 
 // routeTable is the writer's view of a stream's active segments.

@@ -2,23 +2,52 @@ package pravega
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"github.com/pravega-go/pravega/internal/hosting"
+	"github.com/pravega-go/pravega/internal/wire"
 )
 
+// newTestSystem returns a System for the API test suite. By default it is an
+// in-process deployment; with PRAVEGA_TEST_TRANSPORT=tcp the same suite runs
+// against a loopback wire server through pravega.Connect, so every test
+// exercises the remote transport end to end.
 func newTestSystem(t *testing.T) *System {
 	t.Helper()
-	sys, err := NewInProcess(SystemConfig{
+	backing, err := NewInProcess(SystemConfig{
 		Cluster: hosting.ClusterConfig{Stores: 2, ContainersPerStore: 2},
 	})
 	if err != nil {
 		t.Fatalf("NewInProcess: %v", err)
 	}
-	t.Cleanup(sys.Close)
+	if os.Getenv("PRAVEGA_TEST_TRANSPORT") != "tcp" {
+		t.Cleanup(backing.Close)
+		return backing
+	}
+	srv, err := wire.NewServer(backing.Cluster(), backing.Controller(), "127.0.0.1:0")
+	if err != nil {
+		backing.Close()
+		t.Fatalf("wire.NewServer: %v", err)
+	}
+	sys, err := Connect(srv.Addr(), ClientConfig{})
+	if err != nil {
+		_ = srv.Close()
+		backing.Close()
+		t.Fatalf("Connect: %v", err)
+	}
+	// Tests that reach below the public API (fault injection, tiering
+	// waits) still see the backing deployment.
+	sys.cluster = backing.Cluster()
+	sys.ctrl = backing.Controller()
+	t.Cleanup(func() {
+		_ = sys.remote.Close() // drop client connections first
+		_ = srv.Close()        // then the server
+		backing.Close()        // then the deployment behind it
+	})
 	return sys
 }
 

@@ -6,7 +6,7 @@ import (
 	"fmt"
 	"sync"
 
-	"github.com/pravega-go/pravega/internal/hosting"
+	"github.com/pravega-go/pravega/internal/client"
 	"github.com/pravega-go/pravega/internal/segment"
 	"github.com/pravega-go/pravega/internal/segstore"
 	"github.com/pravega-go/pravega/internal/statesync"
@@ -24,7 +24,7 @@ type ReaderGroup struct {
 	name    string
 	scope   string
 	streams []string
-	conn    *hosting.Conn
+	conn    client.DataTransport
 	sync    *statesync.Synchronizer
 
 	mu    sync.Mutex
@@ -83,12 +83,12 @@ func (s *System) NewReaderGroup(name, scope string, streams ...string) (*ReaderG
 		name:    name,
 		scope:   scope,
 		streams: streams,
-		conn:    s.cluster.NewClientConn(s.profile),
+		conn:    s.newData(),
 		state:   newRGState(),
 	}
 	// The group's coordination state lives in a dedicated segment.
 	stateSeg := fmt.Sprintf("%s/_readergroup-%s/0.#epoch.0", scope, name)
-	if err := s.cluster.CreateSegment(stateSeg); err != nil {
+	if err := rg.conn.CreateSegment(stateSeg); err != nil {
 		// Another member may have created it already; that's joining.
 		if !isExists(err) {
 			return nil, err
@@ -101,7 +101,7 @@ func (s *System) NewReaderGroup(name, scope string, streams ...string) (*ReaderG
 	// ignores segments it already knows).
 	var segs []rgSegment
 	for _, stream := range streams {
-		heads, err := s.ctrl.GetHeadSegments(scope, stream)
+		heads, err := s.control.GetHeadSegments(scope, stream)
 		if err != nil {
 			return nil, err
 		}
@@ -135,9 +135,9 @@ func isExists(err error) bool {
 	return errors.Is(err, segstore.ErrSegmentExists)
 }
 
-// rgBacking adapts a client connection to the state synchronizer.
+// rgBacking adapts a data transport to the state synchronizer.
 type rgBacking struct {
-	conn    *hosting.Conn
+	conn    client.DataTransport
 	segment string
 }
 
@@ -270,7 +270,7 @@ func (rg *ReaderGroup) UnreadSegments() int {
 // completeSegment posts a completion with the segment's successors fetched
 // from the controller (§3.3's reader-controller interaction).
 func (rg *ReaderGroup) completeSegment(rec rgSegment) error {
-	succs, err := rg.sys.ctrl.GetSuccessors(rg.scope, rec.Stream, rec.Number)
+	succs, err := rg.sys.control.GetSuccessors(rg.scope, rec.Stream, rec.Number)
 	if err != nil {
 		return err
 	}

@@ -4,12 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"github.com/pravega-go/pravega/internal/client"
 	"github.com/pravega-go/pravega/internal/controller"
-	"github.com/pravega-go/pravega/internal/hosting"
 	"github.com/pravega-go/pravega/internal/keyspace"
 	"github.com/pravega-go/pravega/internal/segstore"
 )
@@ -99,7 +100,7 @@ type pendingEvent struct {
 type EventWriter struct {
 	cfg  WriterConfig
 	sys  *System
-	conn *hosting.Conn
+	conn client.DataTransport
 
 	mu      sync.Mutex
 	route   routeTable
@@ -116,14 +117,14 @@ type EventWriter struct {
 // NewWriter creates an event writer for a stream.
 func (s *System) NewWriter(cfg WriterConfig) (*EventWriter, error) {
 	cfg.defaults()
-	segs, err := s.ctrl.GetActiveSegments(cfg.Scope, cfg.Stream)
+	segs, err := s.control.GetActiveSegments(cfg.Scope, cfg.Stream)
 	if err != nil {
 		return nil, convertErr(err)
 	}
 	w := &EventWriter{
 		cfg:     cfg,
 		sys:     s,
-		conn:    s.cluster.NewClientConn(s.profile),
+		conn:    s.newData(),
 		route:   routeTable{segments: segs},
 		writers: make(map[int64]*segmentWriter),
 		rtt:     s.profileRTT(),
@@ -240,7 +241,8 @@ func (w *EventWriter) FlushCtx(ctx context.Context) error {
 			for sw.inflight > 0 && ctx.Err() == nil {
 				sw.flushCond.Wait()
 			}
-			if len(sw.batch) > 0 || len(sw.held) > 0 || len(sw.redirect) > 0 {
+			if len(sw.batch) > 0 || len(sw.held) > 0 || len(sw.redirect) > 0 ||
+				len(sw.retry) > 0 || sw.recovering {
 				busy = true
 			}
 			sw.mu.Unlock()
@@ -289,15 +291,29 @@ type segmentWriter struct {
 	w   *EventWriter
 	seg controller.SegmentWithRange
 
-	mu        sync.Mutex
-	batch     []pendingEvent
-	batchSize int
-	inflight  int
-	sealed    bool
-	held      []pendingEvent // events parked while a seal resolves
-	redirect  []pendingEvent // failed in-flight events awaiting re-route
-	flushCond *sync.Cond
+	mu         sync.Mutex
+	batch      []pendingEvent
+	batchSize  int
+	inflight   int
+	sealed     bool
+	held       []pendingEvent // events parked while a seal resolves
+	redirect   []pendingEvent // failed in-flight events awaiting re-route
+	retry      []batchRec     // batches lost to a disconnect, awaiting replay
+	recovering bool           // a recover() goroutine is active
+	flushCond  *sync.Cond
 }
+
+// batchRec is one sent batch retained for replay across a transport
+// disconnect. Replay must resend the original batches verbatim — never
+// merged or split — because the server deduplicates at batch granularity:
+// its writer attribute records the last event number of the last applied
+// batch (§3.2).
+type batchRec struct {
+	events  []pendingEvent
+	payload int64
+}
+
+func (b batchRec) lastNum() int64 { return b.events[len(b.events)-1].seq }
 
 func newSegmentWriter(w *EventWriter, seg controller.SegmentWithRange) *segmentWriter {
 	sw := &segmentWriter{w: w, seg: seg}
@@ -326,7 +342,10 @@ func (sw *segmentWriter) add(pe pendingEvent) {
 // Oversized batches ship on extra slots rather than stalling. Caller holds
 // sw.mu.
 func (sw *segmentWriter) trySendLocked() {
-	if sw.sealed || len(sw.batch) == 0 {
+	// While a disconnect is being recovered, nothing new ships: replayed
+	// batches must reach the server before younger events, or per-key order
+	// breaks.
+	if sw.sealed || sw.recovering || len(sw.retry) > 0 || len(sw.batch) == 0 {
 		return
 	}
 	limit := sw.w.cfg.MaxInFlight
@@ -375,7 +394,7 @@ func (sw *segmentWriter) onBatchResult(events []pendingEvent, payload int64, r s
 		// an earlier batch's success ack (which waits for the WAL write).
 		// If this success is the last in-flight ack of a sealed segment,
 		// seal resolution falls to us.
-		resolved := sw.sealed && sw.inflight == 0
+		resolved := sw.sealed && sw.inflight == 0 && !sw.recovering
 		sw.flushCond.Broadcast()
 		sw.mu.Unlock()
 		if resolved {
@@ -386,10 +405,27 @@ func (sw *segmentWriter) onBatchResult(events []pendingEvent, payload int64, r s
 		sw.sealed = true
 		sw.redirect = append(sw.redirect, events...)
 		sw.inflight--
-		resolved := sw.inflight == 0
+		resolved := sw.inflight == 0 && !sw.recovering
 		sw.mu.Unlock()
 		if resolved {
 			sw.resolveSeal()
+		}
+	case errors.Is(r.Err, client.ErrDisconnected):
+		// The transport lost its connection with this batch in flight: the
+		// server may or may not have applied it. Park the batch for replay;
+		// once every in-flight batch has resolved, recover() re-establishes
+		// the writer's position via WriterState and replays (or acks) each
+		// parked batch in order (§3.2 reconnection handshake).
+		sw.mu.Lock()
+		sw.retry = append(sw.retry, batchRec{events: events, payload: payload})
+		sw.inflight--
+		start := sw.inflight == 0 && !sw.recovering
+		if start {
+			sw.recovering = true
+		}
+		sw.mu.Unlock()
+		if start {
+			go sw.recover()
 		}
 	default:
 		err := convertErr(r.Err)
@@ -398,12 +434,89 @@ func (sw *segmentWriter) onBatchResult(events []pendingEvent, payload int64, r s
 		}
 		sw.mu.Lock()
 		sw.inflight--
-		resolved := sw.sealed && sw.inflight == 0
+		resolved := sw.sealed && sw.inflight == 0 && !sw.recovering
 		sw.flushCond.Broadcast()
 		sw.mu.Unlock()
 		if resolved {
 			sw.resolveSeal()
 		}
+	}
+}
+
+// recover re-establishes the writer's position after a disconnect and
+// replays the parked batches. It runs with sw.recovering set (blocking new
+// sends) and no batch in flight. The server's writer attribute tells which
+// parked batches were applied before the connection died: those are acked
+// locally; the rest are resent verbatim, oldest first, and server-side
+// deduplication discards any the ack merely got lost for (§3.2).
+func (sw *segmentWriter) recover() {
+	w := sw.w
+	name := sw.seg.ID.QualifiedName()
+	var attr int64
+	for {
+		a, err := w.conn.WriterState(name, w.cfg.ID)
+		if err == nil {
+			attr = a
+			break
+		}
+		if !errors.Is(err, client.ErrDisconnected) {
+			sw.mu.Lock()
+			recs := sw.retry
+			sw.retry = nil
+			sw.recovering = false
+			sw.flushCond.Broadcast()
+			sw.mu.Unlock()
+			cerr := convertErr(err)
+			for _, rec := range recs {
+				for _, pe := range rec.events {
+					pe.future.complete(cerr)
+				}
+			}
+			return
+		}
+		// Still disconnected; the transport is reconnecting with backoff.
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	sw.mu.Lock()
+	recs := sw.retry
+	sw.retry = nil
+	sw.mu.Unlock()
+	// Completion callbacks can arrive out of order across a disconnect;
+	// replay must be oldest-first.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].lastNum() < recs[j].lastNum() })
+	for _, rec := range recs {
+		if rec.lastNum() <= attr {
+			// Applied before the connection died — only the ack was lost.
+			w.bytesAcked.Add(rec.payload)
+			for _, pe := range rec.events {
+				pe.future.complete(nil)
+			}
+			continue
+		}
+		sw.mu.Lock()
+		sw.inflight++
+		sw.sendBatch(rec.events)
+		sw.mu.Unlock()
+	}
+
+	sw.mu.Lock()
+	sw.recovering = false
+	// A replayed batch may have failed again (or the segment sealed)
+	// while we were resending; route to the right follow-up.
+	again := len(sw.retry) > 0 && sw.inflight == 0
+	sealResolve := !again && sw.sealed && sw.inflight == 0
+	if again {
+		sw.recovering = true
+	} else if !sealResolve {
+		sw.trySendLocked()
+	}
+	sw.flushCond.Broadcast()
+	sw.mu.Unlock()
+	if again {
+		go sw.recover()
+	} else if sealResolve {
+		sw.resolveSeal()
 	}
 }
 
@@ -420,7 +533,7 @@ func (sw *segmentWriter) resolveSeal() {
 	// sealed segment that never gains successors means the whole stream was
 	// sealed: pending events can never be appended.
 	for {
-		succs, err := w.sys.ctrl.GetSuccessors(w.cfg.Scope, w.cfg.Stream, sw.seg.ID.Number)
+		succs, err := w.sys.control.GetSuccessors(w.cfg.Scope, w.cfg.Stream, sw.seg.ID.Number)
 		if err != nil {
 			sw.failPending(convertErr(err))
 			return
@@ -428,7 +541,7 @@ func (sw *segmentWriter) resolveSeal() {
 		if len(succs) > 0 {
 			break
 		}
-		sealed, err := w.sys.ctrl.IsStreamSealed(w.cfg.Scope, w.cfg.Stream)
+		sealed, err := w.sys.control.IsStreamSealed(w.cfg.Scope, w.cfg.Stream)
 		if err != nil {
 			sw.failPending(convertErr(err))
 			return
@@ -439,7 +552,7 @@ func (sw *segmentWriter) resolveSeal() {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	segs, err := w.sys.ctrl.GetActiveSegments(w.cfg.Scope, w.cfg.Stream)
+	segs, err := w.sys.control.GetActiveSegments(w.cfg.Scope, w.cfg.Stream)
 	if err != nil {
 		sw.failPending(convertErr(err))
 		return
@@ -464,7 +577,10 @@ func (sw *segmentWriter) failPending(err error) {
 	sw.mu.Lock()
 	pending := append(sw.redirect, sw.batch...)
 	pending = append(pending, sw.held...)
-	sw.redirect, sw.batch, sw.held = nil, nil, nil
+	for _, rec := range sw.retry {
+		pending = append(pending, rec.events...)
+	}
+	sw.redirect, sw.batch, sw.held, sw.retry = nil, nil, nil, nil
 	sw.flushCond.Broadcast()
 	sw.mu.Unlock()
 	for _, pe := range pending {
