@@ -33,6 +33,9 @@ func Fig12(o Options) (*Figure, error) {
 
 	builders := []sysBuilder{
 		pravegaDefault(),
+		{name: "Pravega (no readahead)", build: func(o *Options) (omb.System, error) {
+			return newPravega(o, pravegaVariant{label: "Pravega (no readahead)", seqRead: true})
+		}},
 		{name: "Pulsar (tiering)", build: func(o *Options) (omb.System, error) {
 			return newPulsar(o, pulsarVariant{label: "Pulsar (tiering)", batching: true, tiering: true})
 		}},

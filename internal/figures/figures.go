@@ -121,6 +121,7 @@ type pravegaVariant struct {
 	label   string
 	noFlush bool // disable journal fsync ("no flush", §5.2)
 	noOpLTS bool // metadata-only LTS (§5.4)
+	seqRead bool // single-chunk sequential LTS reads, no readahead (Fig. 12 baseline)
 }
 
 // newPravega builds a Pravega deployment sized like Table 1 (3 segment
@@ -143,6 +144,10 @@ func newPravega(o *Options, v pravegaVariant) (*omb.PravegaSystem, error) {
 	}
 	if v.noOpLTS {
 		ccfg.LTS = lts.NewNoOp()
+	}
+	if v.seqRead {
+		ccfg.Container.MaxReadFanout = 1
+		ccfg.Container.ReadAheadDepth = -1
 	}
 	sys, err := pravega.NewInProcess(pravega.SystemConfig{
 		Cluster: ccfg,

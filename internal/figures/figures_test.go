@@ -52,7 +52,7 @@ func TestFig12Smoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Points) != 2 {
+	if len(fig.Points) != 3 {
 		t.Fatalf("Fig12 points: %d", len(fig.Points))
 	}
 }

@@ -1,0 +1,271 @@
+package readahead
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testStore is a Fetch backed by a deterministic byte pattern, with
+// controllable blocking and fetch counting.
+type testStore struct {
+	size    int64
+	fetches atomic.Int64
+	block   chan struct{} // non-nil: fetches wait until closed
+	fail    atomic.Bool
+}
+
+func (s *testStore) fetch(segment string, offset, length int64) ([]byte, error) {
+	s.fetches.Add(1)
+	if s.block != nil {
+		<-s.block
+	}
+	if s.fail.Load() {
+		return nil, errors.New("store down")
+	}
+	if offset >= s.size {
+		return nil, nil
+	}
+	end := offset + length
+	if end > s.size {
+		end = s.size
+	}
+	out := make([]byte, end-offset)
+	for i := range out {
+		out[i] = byte((offset + int64(i)) % 251)
+	}
+	return out, nil
+}
+
+func checkPattern(t *testing.T, data []byte, offset int64) {
+	t.Helper()
+	for i := range data {
+		if want := byte((offset + int64(i)) % 251); data[i] != want {
+			t.Fatalf("byte %d of range@%d: got %d, want %d", i, offset, data[i], want)
+		}
+	}
+}
+
+func newTestPrefetcher(t *testing.T, store *testStore, cfg Config) *Prefetcher {
+	t.Helper()
+	cfg.Fetch = store.fetch
+	p := New(cfg)
+	t.Cleanup(p.Close)
+	return p
+}
+
+// drain waits until no fetches are in flight (test helper: scheduling is
+// async).
+func drain(p *Prefetcher) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		p.mu.Lock()
+		pending := false
+		for _, e := range p.entries {
+			if e.data == nil {
+				pending = true
+			}
+		}
+		p.mu.Unlock()
+		if !pending {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSequentialDetectionAndHit(t *testing.T) {
+	store := &testStore{size: 1 << 20}
+	p := newTestPrefetcher(t, store, Config{RangeBytes: 4096, Depth: 2, BudgetBytes: 1 << 20})
+
+	// First read: not sequential yet, nothing scheduled.
+	p.Observe("seg", 0, 4096, store.size)
+	if _, ok := p.Get("seg", 4096); ok {
+		t.Fatal("nothing should be buffered after a single read")
+	}
+	// Second, contiguous read: ranges 2 and 3 scheduled.
+	p.Observe("seg", 4096, 8192, store.size)
+	drain(p)
+	data, ok := p.Get("seg", 8192)
+	if !ok {
+		t.Fatal("range after a sequential cursor not buffered")
+	}
+	if len(data) != 4096 {
+		t.Fatalf("got %d bytes, want 4096", len(data))
+	}
+	checkPattern(t, data, 8192)
+	// Mid-range offsets serve the tail of the range.
+	data, ok = p.Get("seg", 8192+100)
+	if !ok || len(data) != 4096-100 {
+		t.Fatalf("mid-range get: ok=%v len=%d", ok, len(data))
+	}
+	checkPattern(t, data, 8192+100)
+}
+
+func TestNonSequentialSchedulesNothing(t *testing.T) {
+	store := &testStore{size: 1 << 20}
+	p := newTestPrefetcher(t, store, Config{RangeBytes: 4096, Depth: 4, BudgetBytes: 1 << 20})
+	p.Observe("seg", 0, 4096, store.size)
+	p.Observe("seg", 65536, 69632, store.size) // jump
+	drain(p)
+	if n := store.fetches.Load(); n != 0 {
+		t.Fatalf("non-sequential reads triggered %d fetches", n)
+	}
+}
+
+func TestConcurrentCursorsTrackedIndependently(t *testing.T) {
+	store := &testStore{size: 4 << 20}
+	p := newTestPrefetcher(t, store, Config{RangeBytes: 4096, Depth: 1, BudgetBytes: 1 << 20})
+	// Interleave two readers at far-apart positions; both must be detected
+	// as sequential.
+	p.Observe("seg", 0, 4096, store.size)
+	p.Observe("seg", 1<<20, 1<<20+4096, store.size)
+	p.Observe("seg", 4096, 8192, store.size)             // reader A continues
+	p.Observe("seg", 1<<20+4096, 1<<20+8192, store.size) // reader B continues
+	drain(p)
+	if _, ok := p.Get("seg", 8192); !ok {
+		t.Error("reader A's next range not buffered")
+	}
+	if _, ok := p.Get("seg", 1<<20+8192); !ok {
+		t.Error("reader B's next range not buffered")
+	}
+}
+
+func TestSingleFlightSharesFetch(t *testing.T) {
+	store := &testStore{size: 1 << 20, block: make(chan struct{})}
+	p := newTestPrefetcher(t, store, Config{RangeBytes: 4096, Depth: 1, BudgetBytes: 1 << 20})
+	p.Observe("seg", 0, 4096, store.size)
+	p.Observe("seg", 4096, 8192, store.size) // schedules range 2, blocked
+	// Several readers ask for the in-flight range concurrently; all must
+	// wait on the single fetch and share it.
+	const readers = 4
+	var wg sync.WaitGroup
+	got := make([]bool, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, got[i] = p.Get("seg", 8192)
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(store.block)
+	wg.Wait()
+	for i, ok := range got {
+		if !ok {
+			t.Errorf("reader %d missed the in-flight range", i)
+		}
+	}
+	if n := store.fetches.Load(); n != 1 {
+		t.Fatalf("%d fetches for one shared range, want 1", n)
+	}
+}
+
+func TestBudgetEvictsLRU(t *testing.T) {
+	store := &testStore{size: 16 << 20}
+	// Budget of exactly 2 ranges.
+	p := newTestPrefetcher(t, store, Config{RangeBytes: 4096, Depth: 1, BudgetBytes: 8192})
+	seq := func(seg string, upTo int64) {
+		for off := int64(0); off < upTo; off += 4096 {
+			p.Observe(seg, off, off+4096, store.size)
+			drain(p)
+		}
+	}
+	seq("a", 8192) // buffers a/2
+	seq("b", 8192) // buffers b/2 — budget now full
+	seq("c", 8192) // must evict the LRU range (a/2)
+	drain(p)
+	if used := p.BufferedBytes(); used > 8192 {
+		t.Fatalf("budget exceeded: %d > 8192", used)
+	}
+	if _, ok := p.Get("c", 8192); !ok {
+		t.Error("newest range evicted instead of LRU")
+	}
+	if _, ok := p.Get("a", 8192); ok {
+		t.Error("LRU range survived past the budget")
+	}
+}
+
+func TestShortRangeDiscarded(t *testing.T) {
+	store := &testStore{size: 6144} // 1.5 ranges
+	p := newTestPrefetcher(t, store, Config{RangeBytes: 4096, Depth: 4, BudgetBytes: 1 << 20})
+	// limit says 8192 is tiered but the store only has 6144: the fetch for
+	// range 1 comes back short and must be dropped, releasing its budget.
+	p.Observe("seg", 0, 2048, 8192)
+	p.Observe("seg", 2048, 4096, 8192)
+	drain(p)
+	if _, ok := p.Get("seg", 4096); ok {
+		t.Fatal("short range must not be buffered")
+	}
+	if used := p.BufferedBytes(); used != 0 {
+		t.Fatalf("short fetch leaked %d budget bytes", used)
+	}
+}
+
+func TestFetchErrorReleasesBudgetAndWaiters(t *testing.T) {
+	store := &testStore{size: 1 << 20}
+	store.fail.Store(true)
+	p := newTestPrefetcher(t, store, Config{RangeBytes: 4096, Depth: 2, BudgetBytes: 1 << 20})
+	p.Observe("seg", 0, 4096, store.size)
+	p.Observe("seg", 4096, 8192, store.size)
+	drain(p)
+	if _, ok := p.Get("seg", 8192); ok {
+		t.Fatal("failed fetch must not serve data")
+	}
+	if used := p.BufferedBytes(); used != 0 {
+		t.Fatalf("failed fetch leaked %d budget bytes", used)
+	}
+}
+
+func TestInvalidateDropsRangesBelow(t *testing.T) {
+	store := &testStore{size: 1 << 20}
+	p := newTestPrefetcher(t, store, Config{RangeBytes: 4096, Depth: 4, BudgetBytes: 1 << 20})
+	p.Observe("seg", 0, 4096, store.size)
+	p.Observe("seg", 4096, 8192, store.size)
+	drain(p)
+	if _, ok := p.Get("seg", 8192); !ok {
+		t.Fatal("range not buffered before truncation")
+	}
+	p.Invalidate("seg", 3*4096) // truncate at 12288: range 2 must go
+	if _, ok := p.Get("seg", 8192); ok {
+		t.Fatal("pre-truncation range survived Invalidate")
+	}
+	// Full invalidation (segment deleted).
+	p.Observe("other", 0, 4096, store.size)
+	p.Observe("other", 4096, 8192, store.size)
+	drain(p)
+	p.Invalidate("other", -1)
+	if _, ok := p.Get("other", 8192); ok {
+		t.Fatal("range survived full Invalidate")
+	}
+	p.Invalidate("seg", -1)
+	if used := p.BufferedBytes(); used != 0 {
+		t.Fatalf("invalidate leaked %d budget bytes", used)
+	}
+}
+
+func TestConcurrentObserveGetRace(t *testing.T) {
+	store := &testStore{size: 8 << 20}
+	p := newTestPrefetcher(t, store, Config{RangeBytes: 4096, Depth: 4, BudgetBytes: 64 << 10})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			seg := fmt.Sprintf("seg-%d", r%2)
+			for off := int64(0); off < 1<<20; off += 4096 {
+				if data, ok := p.Get(seg, off); ok {
+					checkPattern(t, data, off)
+				}
+				p.Observe(seg, off, off+4096, store.size)
+			}
+		}(r)
+	}
+	for i := 0; i < 50; i++ {
+		p.Invalidate("seg-0", int64(i)*4096)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,94 @@
+package segstore
+
+import (
+	"testing"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/lts"
+	"github.com/pravega-go/pravega/internal/sim"
+)
+
+// BenchmarkReadCatchUp measures draining a tiered backlog with 1 MiB reads
+// over the EFS/S3 performance model (§5.7): each chunk is an independent
+// transfer stream capped well below the aggregate ceiling, so catch-up
+// throughput is decided by how many chunks a read touches in parallel.
+//
+//	parallel:   scatter-gather fan-out + readahead pipelining (default)
+//	sequential: one chunk at a time, no readahead (the pre-fan-out path)
+//
+// The acceptance bar for the parallel read path is >=2x the sequential
+// baseline's bytes/s.
+func BenchmarkReadCatchUp(b *testing.B) {
+	b.Run("parallel", func(b *testing.B) { benchCatchUp(b, false) })
+	b.Run("sequential", func(b *testing.B) { benchCatchUp(b, true) })
+}
+
+func benchCatchUp(b *testing.B, seqRead bool) {
+	const (
+		total     = 8 << 20
+		chunkSize = 256 << 10
+		readSize  = 1 << 20
+	)
+	env := newTestEnv(b)
+	cfg := env.containerConfig(1)
+	cfg.ChunkSizeLimit = chunkSize
+	cfg.FlushSizeBytes = 1
+	if seqRead {
+		cfg.MaxReadFanout = 1
+		cfg.ReadAheadDepth = -1
+	}
+
+	// Seed against the raw in-memory store (no pacing), then reopen behind
+	// the simulated object store so only the measured reads pay its
+	// per-stream and aggregate bandwidth caps.
+	name := "bench/catchup/0"
+	c, err := NewContainer(cfg)
+	if err != nil {
+		b.Fatalf("NewContainer: %v", err)
+	}
+	if err := c.CreateSegment(name); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	for off := 0; off < total; off += len(payload) {
+		if _, err := c.Append(name, payload, "", 0, 1); err != nil {
+			b.Fatalf("Append@%d: %v", off, err)
+		}
+	}
+	if err := c.FlushAll(); err != nil {
+		b.Fatalf("FlushAll: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		b.Fatalf("Close: %v", err)
+	}
+	cfg.LTS = lts.NewSim(env.lts, sim.ObjectStoreConfig{
+		PerStreamBandwidth: 8e6,   // one chunk transfer: 8 MB/s
+		AggregateBandwidth: 128e6, // all transfers together: 128 MB/s
+		OpLatency:          500 * time.Microsecond,
+	})
+	c, err = NewContainer(cfg)
+	if err != nil {
+		b.Fatalf("NewContainer (restart): %v", err)
+	}
+	defer c.Close()
+	dropCached(b, c, name)
+
+	b.SetBytes(total)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.ra != nil {
+			c.ra.Invalidate(name, -1) // each iteration drains cold
+		}
+		var off int64
+		for off < total {
+			res, err := c.Read(name, off, readSize, 0)
+			if err != nil {
+				b.Fatalf("Read@%d: %v", off, err)
+			}
+			if len(res.Data) == 0 {
+				b.Fatalf("empty read@%d", off)
+			}
+			off += int64(len(res.Data))
+		}
+	}
+}

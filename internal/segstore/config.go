@@ -49,6 +49,21 @@ type ContainerConfig struct {
 	// (default 1 s).
 	CheckpointInterval time.Duration
 
+	// MaxReadFanout bounds the parallel per-chunk LTS reads issued for one
+	// historical read (default 8; 1 degenerates to the sequential
+	// single-chunk baseline).
+	MaxReadFanout int
+	// ReadAheadDepth is how many ranges the catch-up prefetcher keeps in
+	// flight or buffered ahead of a sequential historical reader
+	// (default 4; negative disables readahead).
+	ReadAheadDepth int
+	// ReadAheadRangeBytes is the prefetch unit (default 1 MiB).
+	ReadAheadRangeBytes int64
+	// ReadAheadBudgetBytes bounds the prefetcher's buffered bytes — a
+	// budget deliberately separate from the tail block cache (§4.2's
+	// no-pollution rule; default 16 MiB).
+	ReadAheadBudgetBytes int64
+
 	// Hooks exposes deterministic crash points inside the pipeline for
 	// fault-injection tests (internal/faultinject). Nil in production.
 	Hooks *Hooks
@@ -86,6 +101,18 @@ func (c *ContainerConfig) defaults() {
 	}
 	if c.CheckpointInterval <= 0 {
 		c.CheckpointInterval = time.Second
+	}
+	if c.MaxReadFanout <= 0 {
+		c.MaxReadFanout = 8
+	}
+	if c.ReadAheadDepth == 0 {
+		c.ReadAheadDepth = 4
+	}
+	if c.ReadAheadRangeBytes <= 0 {
+		c.ReadAheadRangeBytes = 1 << 20
+	}
+	if c.ReadAheadBudgetBytes <= 0 {
+		c.ReadAheadBudgetBytes = 16 << 20
 	}
 	if c.LoadWindow <= 0 {
 		c.LoadWindow = 2 * time.Second

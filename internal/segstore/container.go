@@ -10,6 +10,7 @@ import (
 
 	"github.com/pravega-go/pravega/internal/blockcache"
 	"github.com/pravega-go/pravega/internal/metrics"
+	"github.com/pravega-go/pravega/internal/readahead"
 	"github.com/pravega-go/pravega/internal/readindex"
 	"github.com/pravega-go/pravega/internal/segment"
 	"github.com/pravega-go/pravega/internal/wal"
@@ -25,6 +26,7 @@ var (
 	ErrConditionalFailed = errors.New("segstore: conditional append check failed")
 	ErrWrongContainer    = errors.New("segstore: segment maps to a different container")
 	ErrReadTimeout       = errors.New("segstore: tail read timed out")
+	ErrNoReadSource      = errors.New("segstore: no source for read")
 )
 
 // flushItem is applied-but-not-yet-tiered append data awaiting the storage
@@ -50,11 +52,11 @@ type segState struct {
 	// is classified as a duplicate instead of being applied twice (§3.2).
 	attrPending segment.Attributes
 	index       *readindex.Index
-	chunks        []chunkMeta
-	unflushed     []flushItem
-	waiters       []chan struct{}
-	pendingSeal   bool
-	meter         *metrics.RateMeter
+	chunks      []chunkMeta
+	unflushed   []flushItem
+	waiters     []chan struct{}
+	pendingSeal bool
+	meter       *metrics.RateMeter
 }
 
 // chunkMeta locates one LTS chunk of a segment (§4.3). The list is ordered
@@ -87,6 +89,7 @@ type Container struct {
 	cfg   ContainerConfig
 	log   *wal.Log
 	cache *blockcache.Cache
+	ra    *readahead.Prefetcher // nil when readahead is disabled
 
 	mu       sync.Mutex
 	segments map[string]*segState
@@ -168,6 +171,16 @@ func NewContainer(cfg ContainerConfig) (*Container, error) {
 		return nil, fmt.Errorf("segstore: recovering container %d: %w", cfg.ID, err)
 	}
 
+	if cfg.ReadAheadDepth >= 0 {
+		c.ra = readahead.New(readahead.Config{
+			RangeBytes:  cfg.ReadAheadRangeBytes,
+			Depth:       cfg.ReadAheadDepth,
+			BudgetBytes: cfg.ReadAheadBudgetBytes,
+			Workers:     cfg.MaxReadFanout,
+			Fetch:       c.fetchRange,
+		})
+	}
+
 	c.wg.Add(4)
 	go c.frameBuilderLoop()
 	go c.applierLoop()
@@ -188,8 +201,8 @@ func (c *Container) newSegState(name string) *segState {
 		name:        name,
 		attributes:  make(segment.Attributes),
 		attrPending: make(segment.Attributes),
-		index:      readindex.New(),
-		meter:      metrics.NewRateMeter(c.cfg.LoadSlots, c.cfg.LoadWindow/time.Duration(c.cfg.LoadSlots)),
+		index:       readindex.New(),
+		meter:       metrics.NewRateMeter(c.cfg.LoadSlots, c.cfg.LoadWindow/time.Duration(c.cfg.LoadSlots)),
 	}
 }
 
@@ -411,6 +424,11 @@ func (c *Container) applyTruncateLocked(s *segState, at int64) {
 	for _, addr := range s.index.TruncateBefore(at) {
 		_ = c.cache.Delete(addr)
 	}
+	if c.ra != nil {
+		// Lock order is always c.mu → ra.mu; prefetch fetches take c.mu
+		// only from their own goroutines, never under ra.mu.
+		c.ra.Invalidate(s.name, at)
+	}
 }
 
 // failAll shuts the container down after a severe error (§4.4): every
@@ -453,6 +471,9 @@ func (c *Container) requestCrash() {
 func (c *Container) Close() error {
 	c.markDown(ErrContainerDown, false)
 	c.wg.Wait()
+	if c.ra != nil {
+		c.ra.Close()
+	}
 	if c.crashed.Load() {
 		return nil
 	}
@@ -468,6 +489,9 @@ func (c *Container) Close() error {
 func (c *Container) Crash() {
 	c.markDown(ErrContainerDown, true)
 	c.wg.Wait()
+	if c.ra != nil {
+		c.ra.Close()
+	}
 }
 
 func (c *Container) isDown() (bool, error) {

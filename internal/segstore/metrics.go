@@ -38,6 +38,15 @@ var (
 	mCacheEvictions = obs.Default().Counter("pravega_blockcache_evictions_total",
 		"Cache entries evicted to make room (bytes already safe in LTS)")
 
+	mReadFanout = obs.Default().Histogram("pravega_segstore_read_fanout",
+		"Parallel LTS chunk reads issued for one historical read")
+	mLTSReadUs = obs.Default().Histogram("pravega_lts_read_us",
+		"Latency of one scatter-gather LTS read, microseconds")
+	mCatchupReads = obs.Default().Counter("pravega_segstore_catchup_reads_total",
+		"Historical reads served from long-term storage or the readahead buffer")
+	mCatchupReadBytes = obs.Default().Counter("pravega_segstore_catchup_read_bytes_total",
+		"Bytes served to historical (catch-up) readers")
+
 	mLTSFlushes = obs.Default().Counter("pravega_lts_flushes_total",
 		"Aggregated segment batches written to long-term storage")
 	mLTSFlushBytes = obs.Default().Counter("pravega_lts_flush_bytes_total",

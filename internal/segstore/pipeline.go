@@ -303,6 +303,13 @@ func (c *Container) frameBuilderLoop() {
 		}
 		admit(first)
 
+		// The adaptive delay is armed at most once per frame: operations
+		// that arrive while waiting are admitted but do not extend the
+		// window. Re-arming on every arrival would let a steady trickle —
+		// in particular conditional-append retries that fail validation
+		// against an op captive in this very frame and so add no bytes —
+		// hold the frame open indefinitely, starving the ops already in it.
+		var timer *time.Timer
 	fill:
 		for fr.bytes < c.cfg.MaxFrameSize {
 			select {
@@ -310,22 +317,26 @@ func (c *Container) frameBuilderLoop() {
 				admit(p)
 			default:
 				// Queue dry: adaptive wait for more operations (§4.1).
-				delay := c.frameDelay()
-				if delay <= 0 {
-					break fill
+				if timer == nil {
+					delay := c.frameDelay()
+					if delay <= 0 {
+						break fill
+					}
+					timer = time.NewTimer(delay)
 				}
-				timer := time.NewTimer(delay)
 				select {
 				case p := <-c.opQueue:
-					timer.Stop()
 					admit(p)
 				case <-timer.C:
+					timer = nil
 					break fill
 				case <-c.stop:
-					timer.Stop()
 					break fill
 				}
 			}
+		}
+		if timer != nil {
+			timer.Stop()
 		}
 
 		if len(fr.ops) == 0 && len(fr.dups) == 0 {
@@ -627,6 +638,9 @@ func (c *Container) applyFrame(f *frameResult) {
 				}
 				chunks := append([]chunkMeta(nil), s.chunks...)
 				delete(c.segments, op.Segment)
+				if c.ra != nil {
+					c.ra.Invalidate(op.Segment, -1)
+				}
 				// The applier itself is wg-tracked, so the counter cannot
 				// hit zero while this Add runs.
 				c.wg.Add(1)

@@ -2,8 +2,9 @@ package segstore
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pravega-go/pravega/internal/readindex"
@@ -11,7 +12,8 @@ import (
 
 // ReadResult is the outcome of one segment read.
 type ReadResult struct {
-	// Data holds the bytes read (possibly fewer than requested).
+	// Data holds the bytes read (possibly fewer than requested). It may
+	// alias a shared readahead buffer and must not be modified.
 	Data []byte
 	// Offset echoes the read's start offset.
 	Offset int64
@@ -84,25 +86,37 @@ func (c *Container) ReadCtx(ctx context.Context, name string, offset int64, maxB
 				return ReadResult{}, ErrContainerDown
 			}
 		}
-		// Data available: serve from cache when indexed, LTS otherwise.
-		res, err := c.readAvailableLocked(s, offset, maxBytes)
-		c.mu.Unlock()
-		return res, err
+		// Data available. readAvailable releases c.mu: cache hits copy out
+		// under the short critical section it inherits; LTS and readahead
+		// I/O always run unlocked.
+		return c.readAvailable(s, offset, maxBytes)
 	}
 }
 
-// readAvailableLocked serves a read below the segment length. Caller holds
-// c.mu; LTS reads release it for the duration of the fetch.
-func (c *Container) readAvailableLocked(s *segState, offset int64, maxBytes int) (ReadResult, error) {
+// readAvailable serves a read below the segment length. The caller holds
+// c.mu; readAvailable ALWAYS returns with it released. The lock is held
+// only for index/cache/unflushed access — never across LTS I/O, so a stuck
+// LTS backend cannot stall tail reads or the append applier.
+func (c *Container) readAvailable(s *segState, offset int64, maxBytes int) (ReadResult, error) {
 	avail := s.length - offset
 	if int64(maxBytes) > avail {
 		maxBytes = int(avail)
 	}
 	mReadLookups.Inc()
 	entry, err := s.index.Find(offset)
-	switch {
-	case err == nil && entry.Where == readindex.InCache:
+	if err == nil && entry.Where == readindex.InCache {
 		data, cerr := c.cache.Get(entry.CacheAddr)
+		if cerr != nil {
+			// The cache entry raced with eviction: the evictor replaces the
+			// index entry with an InLTS record before deleting the block, so
+			// one retry of the lookup observes the post-eviction location.
+			entry, err = s.index.Find(offset)
+			if err == nil && entry.Where == readindex.InCache {
+				data, cerr = c.cache.Get(entry.CacheAddr)
+			} else {
+				cerr = fmt.Errorf("segstore: cache entry evicted during read")
+			}
+		}
 		if cerr == nil {
 			mCacheHits.Inc()
 			from := offset - entry.Offset
@@ -110,67 +124,240 @@ func (c *Container) readAvailableLocked(s *segState, offset int64, maxBytes int)
 			if to > int64(len(data)) {
 				to = int64(len(data))
 			}
+			c.mu.Unlock()
 			return ReadResult{Data: data[from:to:to], Offset: offset}, nil
 		}
-		// Cache raced with eviction; fall through to other sources.
-		fallthrough
-	default:
-		mCacheMisses.Inc()
-		if offset < s.storageLength {
-			return c.readFromLTSLocked(s, offset, maxBytes)
-		}
-		// Not cached, not in LTS: the bytes are in the un-tiered queue
-		// (cache was full on apply). Serve from there.
-		for _, it := range s.unflushed {
-			end := it.offset + int64(len(it.data))
-			if offset >= it.offset && offset < end {
-				from := offset - it.offset
-				to := from + int64(maxBytes)
-				if to > int64(len(it.data)) {
-					to = int64(len(it.data))
-				}
-				return ReadResult{Data: append([]byte(nil), it.data[from:to]...), Offset: offset}, nil
-			}
-		}
-		if err == nil {
-			err = errors.New("segstore: read raced with state change")
-		}
-		return ReadResult{}, fmt.Errorf("segstore: no source for %s@%d: %w", s.name, offset, err)
 	}
+	mCacheMisses.Inc()
+	if offset < s.storageLength {
+		return c.readFromLTS(s, offset, int64(maxBytes))
+	}
+	// Not cached, not in LTS: the bytes are in the un-tiered queue (cache
+	// was full on apply). Serve from there.
+	for _, it := range s.unflushed {
+		end := it.offset + int64(len(it.data))
+		if offset >= it.offset && offset < end {
+			from := offset - it.offset
+			to := from + int64(maxBytes)
+			if to > int64(len(it.data)) {
+				to = int64(len(it.data))
+			}
+			out := append([]byte(nil), it.data[from:to]...)
+			c.mu.Unlock()
+			return ReadResult{Data: out, Offset: offset}, nil
+		}
+	}
+	name := s.name
+	c.mu.Unlock()
+	if err != nil {
+		return ReadResult{}, fmt.Errorf("%w: %s@%d: %v", ErrNoReadSource, name, offset, err)
+	}
+	return ReadResult{}, fmt.Errorf("%w: %s@%d: read raced with state change", ErrNoReadSource, name, offset)
 }
 
-// readFromLTSLocked fetches bytes from the segment's chunks. It drops c.mu
-// during the fetch (LTS can be slow) and does not install the result into
-// the cache: historical catch-up readers stream large ranges once, and
-// polluting the cache would evict the tail working set (§4.2's usage-aware
-// design; the paper's high historical throughput comes from parallel chunk
-// reads, which this preserves).
-func (c *Container) readFromLTSLocked(s *segState, offset int64, maxBytes int) (ReadResult, error) {
-	var chunk *chunkMeta
-	for i := range s.chunks {
-		ch := &s.chunks[i]
-		if offset >= ch.StartOffset && offset < ch.StartOffset+ch.Length {
-			cc := *ch
-			chunk = &cc
+// chunkRead is one chunk's share of a scatter-gather read: n bytes from
+// chunkOff within the chunk, landing at bufOff within the caller's buffer.
+type chunkRead struct {
+	chunk    string
+	chunkOff int64
+	bufOff   int64
+	n        int64
+}
+
+// planChunkReads maps [offset, end) onto the covering chunks. Pending
+// (unconfirmed) chunks are never served; the plan is truncated at the first
+// coverage gap so the result is always a contiguous prefix.
+func planChunkReads(chunks []chunkMeta, offset, end int64) []chunkRead {
+	var plan []chunkRead
+	next := offset
+	for i := range chunks {
+		ch := &chunks[i]
+		if ch.Pending {
 			break
 		}
+		lo, hi := offset, end
+		if ch.StartOffset > lo {
+			lo = ch.StartOffset
+		}
+		if ch.StartOffset+ch.Length < hi {
+			hi = ch.StartOffset + ch.Length
+		}
+		if hi <= lo {
+			continue
+		}
+		if lo != next {
+			break // gap: serve what is contiguous from offset
+		}
+		plan = append(plan, chunkRead{
+			chunk:    ch.Name,
+			chunkOff: lo - ch.StartOffset,
+			bufOff:   lo - offset,
+			n:        hi - lo,
+		})
+		next = hi
 	}
-	if chunk == nil {
-		return ReadResult{}, fmt.Errorf("segstore: no chunk covers %s@%d", s.name, offset)
+	return plan
+}
+
+// scatterGather fans the planned chunk reads out across up to
+// MaxReadFanout goroutines, each read landing in its own slot of buf. It
+// returns the length of the contiguous prefix that was read successfully
+// and, when that prefix is incomplete, the first failure. No lock is held.
+func (c *Container) scatterGather(plan []chunkRead, buf []byte) (int64, error) {
+	workers := c.cfg.MaxReadFanout
+	if workers > len(plan) {
+		workers = len(plan)
 	}
-	inChunk := offset - chunk.StartOffset
-	n := int64(maxBytes)
-	if n > chunk.Length-inChunk {
-		n = chunk.Length - inChunk
+	errs := make([]error, len(plan))
+	if workers <= 1 {
+		for i, cr := range plan {
+			errs[i] = c.readChunk(cr, buf)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(plan) {
+						return
+					}
+					errs[i] = c.readChunk(plan[i], buf)
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	buf := make([]byte, n)
-	c.mu.Unlock()
-	read, err := c.cfg.LTS.Read(chunk.Name, inChunk, buf)
-	c.mu.Lock()
+	var got int64
+	for i, e := range errs {
+		if e != nil {
+			return got, e
+		}
+		got += plan[i].n
+	}
+	return got, nil
+}
+
+func (c *Container) readChunk(cr chunkRead, buf []byte) error {
+	read, err := c.cfg.LTS.Read(cr.chunk, cr.chunkOff, buf[cr.bufOff:cr.bufOff+cr.n])
 	if err != nil {
-		return ReadResult{}, fmt.Errorf("segstore: LTS read %s: %w", chunk.Name, err)
+		return fmt.Errorf("segstore: LTS read %s: %w", cr.chunk, err)
 	}
-	return ReadResult{Data: buf[:read], Offset: offset}, nil
+	if int64(read) < cr.n {
+		return fmt.Errorf("segstore: LTS read %s: short read %d < %d", cr.chunk, read, cr.n)
+	}
+	return nil
+}
+
+// readFromLTS serves a historical read from the segment's chunks. The
+// caller holds c.mu; the chunk plan is snapshotted under it, then the lock
+// is released for the duration of all I/O (§4.2: LTS can be slow, and its
+// latency must not leak into the tail path). The result is not installed
+// into the block cache — historical catch-up readers stream large ranges
+// once, and polluting the cache would evict the tail working set. Instead
+// the read is reported to the readahead prefetcher, which pipelines the
+// ranges ahead of a sequential cursor into its own budget.
+func (c *Container) readFromLTS(s *segState, offset, maxBytes int64) (ReadResult, error) {
+	name := s.name
+	end := offset + maxBytes
+	if end > s.storageLength {
+		end = s.storageLength
+	}
+	storageLen := s.storageLength
+	plan := planChunkReads(s.chunks, offset, end)
+	c.mu.Unlock()
+
+	if len(plan) == 0 {
+		return ReadResult{}, fmt.Errorf("%w: no chunk covers %s@%d", ErrNoReadSource, name, offset)
+	}
+	mCatchupReads.Inc()
+
+	// A buffered (or in-flight) readahead range is the fast path: no LTS
+	// round-trip at all.
+	if c.ra != nil {
+		if data, ok := c.ra.Get(name, offset); ok {
+			n := int64(len(data))
+			if n > end-offset {
+				n = end - offset
+			}
+			out := data[:n:n]
+			c.ra.Observe(name, offset, offset+n, storageLen)
+			mCatchupReadBytes.Add(n)
+			return c.finishLTSRead(name, s, offset, out)
+		}
+	}
+
+	start := time.Now()
+	buf := make([]byte, end-offset)
+	got, err := c.scatterGather(plan, buf)
+	mReadFanout.Record(int64(len(plan)))
+	mLTSReadUs.RecordSince(start)
+	if got == 0 {
+		return ReadResult{}, err
+	}
+	mCatchupReadBytes.Add(got)
+	if c.ra != nil {
+		c.ra.Observe(name, offset, offset+got, storageLen)
+	}
+	return c.finishLTSRead(name, s, offset, buf[:got])
+}
+
+// finishLTSRead revalidates a completed unlocked LTS/readahead read against
+// the segment's current state: a truncation or deletion that landed while
+// the I/O was in flight must surface as its sentinel error, never as stale
+// pre-truncation bytes.
+func (c *Container) finishLTSRead(name string, s *segState, offset int64, data []byte) (ReadResult, error) {
+	c.mu.Lock()
+	cur, ok := c.segments[name]
+	if !ok || cur != s {
+		c.mu.Unlock()
+		return ReadResult{}, fmt.Errorf("%w: %s", ErrSegmentNotFound, name)
+	}
+	if offset < cur.startOffset {
+		c.mu.Unlock()
+		return ReadResult{}, fmt.Errorf("%w: offset %d < %d", ErrSegmentTruncated, offset, cur.startOffset)
+	}
+	c.mu.Unlock()
+	return ReadResult{Data: data, Offset: offset}, nil
+}
+
+// fetchRange is the readahead prefetcher's backing fetch: one aligned range
+// of a segment's tiered prefix, read with the same scatter-gather fanout as
+// foreground reads. It snapshots the plan under c.mu and performs all I/O
+// unlocked. Short results (range past the tiered prefix, or truncated
+// mid-fetch) are returned as-is; the prefetcher discards them.
+func (c *Container) fetchRange(segment string, offset, length int64) ([]byte, error) {
+	c.mu.Lock()
+	if c.down {
+		err := c.downErr
+		c.mu.Unlock()
+		return nil, err
+	}
+	s, ok := c.segments[segment]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrSegmentNotFound, segment)
+	}
+	end := offset + length
+	if end > s.storageLength {
+		end = s.storageLength
+	}
+	if end <= offset || offset < s.startOffset {
+		c.mu.Unlock()
+		return nil, nil
+	}
+	plan := planChunkReads(s.chunks, offset, end)
+	c.mu.Unlock()
+
+	buf := make([]byte, end-offset)
+	got, err := c.scatterGather(plan, buf)
+	if got == 0 {
+		return nil, err
+	}
+	return buf[:got], nil
 }
 
 // ChunkList returns the segment's LTS chunk layout (tests, tooling).

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Backing is the segment surface the synchronizer needs. The hosting layer
@@ -125,6 +126,17 @@ func (s *Synchronizer) Update(gen func() ([]byte, error)) error {
 		if attempt > 10_000 {
 			return fmt.Errorf("statesync: livelock after %d attempts: %w", attempt, err)
 		}
-		// Conflict (or transient): refetch and retry.
+		// Conflict (or transient): refetch and retry. After a few straight
+		// losses, back off briefly — the winning append may still be
+		// draining through the store's group-commit pipeline, and an
+		// in-process retry loop is fast enough to spin thousands of times
+		// within one commit latency.
+		if attempt >= 8 {
+			d := time.Duration(attempt) * time.Microsecond
+			if d > time.Millisecond {
+				d = time.Millisecond
+			}
+			time.Sleep(d)
+		}
 	}
 }

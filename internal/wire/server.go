@@ -23,6 +23,10 @@ var (
 		"Requests received across all connections")
 	mAcksPerFlush = obs.Default().Histogram("pravega_wire_acks_per_flush",
 		"Replies coalesced into one connection flush")
+	mReads = obs.Default().Counter("pravega_wire_reads_total",
+		"Segment read requests served")
+	mReadBytes = obs.Default().Counter("pravega_wire_read_bytes_total",
+		"Payload bytes returned to read requests")
 )
 
 // Server exposes a Pravega node — the data plane of a hosted cluster plus
@@ -283,8 +287,19 @@ func (s *Server) serve(conn net.Conn) {
 				rw.send(id, errReply(err, Reply{}), true)
 				continue
 			}
-			// Reads may long-poll; each gets its own goroutine and a cancel
-			// handle for MsgCancelRead.
+			if req.WaitMS <= 0 {
+				// Zero-wait reads never long-poll, so they skip the cancel
+				// registration: catch-up readers issue these back to back
+				// and the per-request map churn is measurable.
+				reqWG.Add(1)
+				go func(id uint64, req ReadReq) {
+					defer reqWG.Done()
+					rw.send(id, s.handleRead(context.Background(), req), true)
+				}(id, req)
+				continue
+			}
+			// Long-poll reads get their own goroutine and a cancel handle
+			// for MsgCancelRead.
 			ctx, cancel := context.WithCancel(context.Background())
 			reads.add(id, cancel)
 			reqWG.Add(1)
@@ -322,6 +337,8 @@ func (s *Server) handleRead(ctx context.Context, req ReadReq) Reply {
 	if err != nil {
 		return errReply(err, Reply{})
 	}
+	mReads.Inc()
+	mReadBytes.Add(int64(len(res.Data)))
 	return Reply{Data: res.Data, Offset: res.Offset, EOS: res.EndOfSegment}
 }
 

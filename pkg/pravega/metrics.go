@@ -17,4 +17,6 @@ var (
 		"Reader group rebalance passes executed")
 	mClientRebalancesSkipped = obs.Default().Counter("pravega_client_rebalances_skipped_total",
 		"Rebalance passes skipped because the group revision was unchanged")
+	mClientPrefetches = obs.Default().Counter("pravega_client_prefetches_total",
+		"Catch-up fetches issued asynchronously while buffered events drained")
 )

@@ -113,6 +113,29 @@ type SystemConfig struct {
 	// TraceSampleEvery samples one append span per this many appends into
 	// the /debug/traces ring. Zero disables append tracing.
 	TraceSampleEvery int
+	// ReadAhead tunes the server-side catch-up read path of every segment
+	// container (scatter-gather fanout and the readahead prefetcher).
+	// Zero-valued fields keep the container defaults.
+	ReadAhead ReadAheadConfig
+}
+
+// ReadAheadConfig tunes historical (catch-up) reads: the parallel
+// scatter-gather fanout across LTS chunks and the sequential-reader
+// prefetcher that pipelines ranges ahead of the cursor (§4.2, §5.7). The
+// prefetcher's budget is separate from the tail block cache, so catch-up
+// scans never evict the tail working set.
+type ReadAheadConfig struct {
+	// MaxReadFanout bounds parallel per-chunk LTS reads for one historical
+	// read (default 8; 1 = sequential single-chunk reads).
+	MaxReadFanout int
+	// Depth is how many ranges the prefetcher keeps buffered or in flight
+	// ahead of a sequential reader (default 4; negative disables
+	// readahead).
+	Depth int
+	// RangeBytes is the prefetch unit (default 1 MiB).
+	RangeBytes int64
+	// BudgetBytes bounds the prefetcher's buffered bytes (default 16 MiB).
+	BudgetBytes int64
 }
 
 // System is a handle on a Pravega deployment: either a full in-process
@@ -133,6 +156,18 @@ type System struct {
 // NewInProcess starts a full in-process deployment.
 func NewInProcess(cfg SystemConfig) (*System, error) {
 	cfg.Cluster.Profile = cfg.Profile
+	if cfg.ReadAhead.MaxReadFanout != 0 {
+		cfg.Cluster.Container.MaxReadFanout = cfg.ReadAhead.MaxReadFanout
+	}
+	if cfg.ReadAhead.Depth != 0 {
+		cfg.Cluster.Container.ReadAheadDepth = cfg.ReadAhead.Depth
+	}
+	if cfg.ReadAhead.RangeBytes != 0 {
+		cfg.Cluster.Container.ReadAheadRangeBytes = cfg.ReadAhead.RangeBytes
+	}
+	if cfg.ReadAhead.BudgetBytes != 0 {
+		cfg.Cluster.Container.ReadAheadBudgetBytes = cfg.ReadAhead.BudgetBytes
+	}
 	cl, err := hosting.NewCluster(cfg.Cluster)
 	if err != nil {
 		return nil, err

@@ -16,7 +16,9 @@ var ErrNoEvent = errors.New("pravega: no event within timeout")
 
 // Event is one consumed stream event.
 type Event struct {
-	// Data is the event payload.
+	// Data is the event payload. It aliases the reader's internal fetch
+	// buffer: it stays valid indefinitely, but callers that modify it in
+	// place should copy it first.
 	Data []byte
 	// Stream is the stream the event came from (reader groups may span
 	// several streams).
@@ -46,13 +48,31 @@ type Reader struct {
 	fetchBytes int
 }
 
-// ownedSegment is one assigned segment's read cursor.
+// ownedSegment is one assigned segment's read cursor. All fields are
+// guarded by Reader.mu; fetch I/O never holds the lock — it works on
+// values snapshotted under it and re-validates before applying results.
 type ownedSegment struct {
 	rec    rgSegment
 	offset int64 // next segment offset to fetch
 	buf    []byte
 	bufAt  int64 // segment offset of buf[0]
 	fetch  int   // adaptive fetch size (catch-up escalation)
+
+	// Catch-up pipelining: at most one outstanding async fetch per owned
+	// segment, issued while buffered events drain, so the next batch is in
+	// flight before the buffer runs dry (§5.7).
+	inflight bool
+	results  chan fetchResult
+}
+
+// fetchResult carries one completed fetch back to the reader loop. offset
+// and fetch echo the request, so a result that raced a cursor jump or an
+// ownership change is detected and dropped.
+type fetchResult struct {
+	res    segstore.ReadResult
+	err    error
+	offset int64
+	fetch  int
 }
 
 // NewReader registers a reader in the group.
@@ -264,15 +284,15 @@ func (r *Reader) ReadNextEventCtx(ctx context.Context) (Event, error) {
 		}
 
 		// Fetch more data from the next segment in round-robin order.
-		seg := r.nextSegment()
-		if seg == nil {
+		qn := r.nextSegment()
+		if qn == "" {
 			// Nothing assigned yet; wait briefly for assignments.
 			if err := sleepCtx(ctx, 10*time.Millisecond); err != nil {
 				return Event{}, err
 			}
 			continue
 		}
-		if err := r.fill(ctx, seg, 20*time.Millisecond); err != nil {
+		if err := r.fill(ctx, qn, 20*time.Millisecond); err != nil {
 			return Event{}, err
 		}
 	}
@@ -295,8 +315,8 @@ func (r *Reader) readOnce() (Event, error) {
 	} else if ok {
 		return ev, nil
 	}
-	if seg := r.nextSegment(); seg != nil {
-		if err := r.fill(context.Background(), seg, 0); err != nil {
+	if qn := r.nextSegment(); qn != "" {
+		if err := r.fill(context.Background(), qn, 0); err != nil {
 			return Event{}, err
 		}
 		if ev, ok, err := r.popBuffered(); err != nil {
@@ -322,7 +342,10 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // popBuffered returns the first complete buffered event across owned
-// segments.
+// segments. The event's Data slices the segment's fetch buffer directly —
+// no per-event copy. That is safe because the buffer only ever grows at
+// its end: handed-out events occupy positions strictly before the
+// remainder that later appends extend.
 func (r *Reader) popBuffered() (Event, bool, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -338,92 +361,192 @@ func (r *Reader) popBuffered() (Event, bool, error) {
 		seg.bufAt += int64(len(seg.buf) - len(rest))
 		seg.buf = rest
 		out := Event{
-			Data:    append([]byte(nil), ev...),
+			Data:    ev,
 			Stream:  seg.rec.Stream,
 			Segment: seg.rec.Number,
 			Offset:  evOffset,
 		}
 		mClientEventsRead.Inc()
+		// Keep the pipeline primed: when this segment is in catch-up mode
+		// and its buffer is running dry, start the next fetch now so it
+		// overlaps with the caller consuming this event.
+		if !seg.inflight && seg.fetch > r.fetchBytes && len(seg.buf) < seg.fetch/2 {
+			r.startPrefetchLocked(seg)
+		}
 		return out, true, nil
 	}
 	return Event{}, false, nil
 }
 
-// nextSegment picks the next owned segment round-robin.
-func (r *Reader) nextSegment() *ownedSegment {
+// nextSegment picks the next owned segment round-robin, returning its
+// qualified name ("" when nothing is owned). It returns a name rather than
+// the *ownedSegment so no cursor state escapes r.mu.
+func (r *Reader) nextSegment() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if len(r.rr) == 0 {
-		return nil
+		return ""
 	}
 	for i := 0; i < len(r.rr); i++ {
 		qn := r.rr[r.rrNext%len(r.rr)]
 		r.rrNext++
-		if seg, ok := r.owned[qn]; ok {
-			return seg
+		if _, ok := r.owned[qn]; ok {
+			return qn
 		}
 	}
-	return nil
+	return ""
 }
 
-// fill fetches bytes for one segment, handling tail long-polls, truncation
-// jumps and end-of-segment completion. Far-behind cursors use large reads
-// so catch-up saturates the historical read path (§5.7). Cancelling ctx
-// unblocks a tail long-poll immediately; fill then returns ctx.Err().
-func (r *Reader) fill(ctx context.Context, seg *ownedSegment, wait time.Duration) error {
+// fill obtains more bytes for one segment. When a prefetch is already in
+// flight it waits up to `wait` for that result instead of issuing a second
+// read; otherwise it performs one synchronous fetch. All cursor state is
+// read and written under r.mu — the I/O itself runs on snapshotted values
+// and results are re-validated against the live cursor before applying.
+func (r *Reader) fill(ctx context.Context, qn string, wait time.Duration) error {
+	r.mu.Lock()
+	seg, ok := r.owned[qn]
+	if !ok {
+		r.mu.Unlock()
+		return nil // lost ownership since nextSegment; next loop re-picks
+	}
+	if seg.inflight {
+		ch := seg.results
+		r.mu.Unlock()
+		if wait <= 0 {
+			select {
+			case fr := <-ch:
+				r.harvest(qn, seg)
+				return r.applyFetch(qn, fr)
+			default:
+				return nil
+			}
+		}
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case fr := <-ch:
+			r.harvest(qn, seg)
+			return r.applyFetch(qn, fr)
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timer.C:
+			return nil // re-loop; other segments may have data meanwhile
+		}
+	}
+	offset := seg.offset
 	fetch := seg.fetch
 	if fetch <= 0 {
 		fetch = r.fetchBytes
 	}
-	res, err := r.rg.conn.ReadCtx(ctx, seg.rec.Qualified, seg.offset, fetch, wait)
-	// Self-adapting fetch size: full reads mean the cursor is behind, so
-	// escalate toward 1 MiB catch-up reads; short reads reset to the tail
-	// size.
-	if err == nil && !res.EndOfSegment {
-		if len(res.Data) >= fetch {
-			next := fetch * 4
-			if next > 1<<20 {
-				next = 1 << 20
-			}
-			seg.fetch = next
-		} else {
-			seg.fetch = r.fetchBytes
-		}
+	r.mu.Unlock()
+
+	res, err := r.rg.conn.ReadCtx(ctx, qn, offset, fetch, wait)
+	return r.applyFetch(qn, fetchResult{res: res, err: err, offset: offset, fetch: fetch})
+}
+
+// harvest clears a segment's inflight flag after its result was taken from
+// the channel, guarding against the segment having been dropped and
+// re-acquired (a fresh ownedSegment) in between.
+func (r *Reader) harvest(qn string, seg *ownedSegment) {
+	r.mu.Lock()
+	if cur, ok := r.owned[qn]; ok && cur == seg {
+		seg.inflight = false
 	}
+	r.mu.Unlock()
+}
+
+// startPrefetchLocked issues the segment's next fetch asynchronously.
+// Caller holds r.mu. The fetch uses a zero wait (no tail long-poll): it is
+// only started in catch-up mode, where data is known to be available.
+func (r *Reader) startPrefetchLocked(seg *ownedSegment) {
+	if r.closed || seg.inflight {
+		return
+	}
+	fetch := seg.fetch
+	if fetch <= 0 {
+		fetch = r.fetchBytes
+	}
+	if seg.results == nil {
+		seg.results = make(chan fetchResult, 1)
+	}
+	seg.inflight = true
+	qn := seg.rec.Qualified
+	offset := seg.offset
+	ch := seg.results
+	mClientPrefetches.Inc()
+	go func() {
+		res, err := r.rg.conn.ReadCtx(context.Background(), qn, offset, fetch, 0)
+		ch <- fetchResult{res: res, err: err, offset: offset, fetch: fetch}
+	}()
+}
+
+// applyFetch folds one fetch outcome into the segment's cursor, handling
+// tail long-polls, truncation jumps and end-of-segment completion.
+// Far-behind cursors escalate their fetch size so catch-up saturates the
+// historical read path (§5.7). Results that raced a cursor jump or an
+// ownership change (offset mismatch, segment replaced) are dropped.
+func (r *Reader) applyFetch(qn string, fr fetchResult) error {
 	switch {
-	case err == nil:
-	case errors.Is(err, segstore.ErrSegmentTruncated):
+	case fr.err == nil:
+	case errors.Is(fr.err, segstore.ErrSegmentTruncated):
 		// Retention moved the head; jump forward.
-		info, ierr := r.rg.conn.GetInfo(seg.rec.Qualified)
+		info, ierr := r.rg.conn.GetInfo(qn)
 		if ierr != nil {
 			return convertErr(ierr)
 		}
 		r.mu.Lock()
-		seg.offset = info.StartOffset
-		seg.buf = nil
-		seg.bufAt = info.StartOffset
+		if seg, ok := r.owned[qn]; ok && seg.offset < info.StartOffset {
+			seg.offset = info.StartOffset
+			seg.buf = nil
+			seg.bufAt = info.StartOffset
+		}
 		r.mu.Unlock()
 		return nil
 	default:
-		return convertErr(err)
+		return convertErr(fr.err)
 	}
-	if res.EndOfSegment {
-		// Finished this segment: tell the group and fetch successors
-		// (§3.3). The group's barrier keeps merged successors pending
-		// until all predecessors are done.
+	if fr.res.EndOfSegment {
 		r.mu.Lock()
-		delete(r.owned, seg.rec.Qualified)
+		seg, ok := r.owned[qn]
+		if !ok || seg.offset != fr.offset {
+			r.mu.Unlock()
+			return nil // stale: cursor moved since this fetch was issued
+		}
+		rec := seg.rec
+		delete(r.owned, qn)
 		r.mu.Unlock()
-		if err := r.rg.completeSegment(seg.rec); err != nil {
+		if err := r.rg.completeSegment(rec); err != nil {
 			return convertErr(err)
 		}
 		return convertErr(r.rebalance())
 	}
-	if len(res.Data) > 0 {
-		r.mu.Lock()
-		seg.buf = append(seg.buf, res.Data...)
-		seg.offset += int64(len(res.Data))
-		r.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seg, ok := r.owned[qn]
+	if !ok || seg.offset != fr.offset {
+		return nil // stale result; drop
+	}
+	// Self-adapting fetch size: full reads mean the cursor is behind, so
+	// escalate toward 1 MiB catch-up reads; short reads reset to the tail
+	// size.
+	full := len(fr.res.Data) >= fr.fetch
+	if full {
+		next := fr.fetch * 4
+		if next > 1<<20 {
+			next = 1 << 20
+		}
+		seg.fetch = next
+	} else {
+		seg.fetch = r.fetchBytes
+	}
+	if len(fr.res.Data) > 0 {
+		seg.buf = append(seg.buf, fr.res.Data...)
+		seg.offset += int64(len(fr.res.Data))
+		if full && !seg.inflight {
+			// Catch-up pipelining: the next batch is fetched while the
+			// caller drains this one.
+			r.startPrefetchLocked(seg)
+		}
 	}
 	return nil
 }
