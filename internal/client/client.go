@@ -57,6 +57,12 @@ type DataTransport interface {
 	// CreateSegment registers a raw segment (reader-group state and KV
 	// table backing segments live outside stream metadata).
 	CreateSegment(name string) error
+	// MergeSegment atomically appends the sealed source segment's bytes to
+	// the target and deletes the source, returning the offset in the target
+	// where the merged bytes begin — the transaction-commit primitive
+	// (§3.2). Target and source must share a container; transaction shadow
+	// segments route by their parent's name, which guarantees it.
+	MergeSegment(target, source string) (int64, error)
 	// Close releases the transport's resources. In-flight operations fail
 	// with ErrDisconnected.
 	Close() error
@@ -80,6 +86,14 @@ type ControlTransport interface {
 	UpdateStreamPolicies(scope, stream string, scaling *controller.ScalingPolicy, retention *controller.RetentionPolicy) error
 	IsStreamSealed(scope, stream string) (bool, error)
 	SegmentCount(scope, stream string) (int, error)
+	// Transactions (§3.2): BeginTxn opens a transaction with one shadow
+	// segment per active parent segment; CommitTxn atomically merges every
+	// shadow into its parent; AbortTxn deletes the shadows. A lease ≤ 0
+	// selects the controller's default.
+	BeginTxn(scope, stream string, lease time.Duration) (controller.TxnInfo, error)
+	CommitTxn(scope, stream, txnID string) error
+	AbortTxn(scope, stream, txnID string) error
+	TxnStatus(scope, stream, txnID string) (controller.TxnState, error)
 }
 
 // The in-process controller satisfies ControlTransport directly.

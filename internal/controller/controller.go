@@ -31,6 +31,11 @@ type DataPlane interface {
 	SealSegment(name string) (int64, error)
 	TruncateSegment(name string, offset int64) error
 	DeleteSegment(name string) error
+	// MergeSegment atomically appends the (sealed) source segment's bytes
+	// to the target and deletes the source — the commit primitive for
+	// transaction segments (§3.2). Source and target share a container
+	// because transaction segments route by their parent's name.
+	MergeSegment(target, source string) error
 	SegmentInfo(name string) (segment.Info, error)
 	// OwnerOf resolves the segment store instance currently serving the
 	// segment's container (GetURI in Pravega's protocol).
@@ -620,6 +625,7 @@ type persistedStream struct {
 	Segments map[int64]*SegmentRecord `json:"segments"`
 	Active   []int64                  `json:"active"`
 	Head     StreamCut                `json:"head"`
+	Txns     map[string]*TxnRecord    `json:"txns,omitempty"`
 }
 
 func flatten(key string) string {
@@ -652,6 +658,7 @@ func (c *Controller) persist(key string) error {
 		Segments: st.segments,
 		Active:   st.active,
 		Head:     st.head,
+		Txns:     st.txns,
 	}
 	data, err := json.Marshal(p)
 	c.mu.Unlock()
@@ -722,6 +729,7 @@ func (c *Controller) reloadOne(node string) error {
 		segments: p.Segments,
 		active:   p.Active,
 		head:     p.Head,
+		txns:     p.Txns,
 	}
 	if st.segments == nil {
 		st.segments = make(map[int64]*SegmentRecord)

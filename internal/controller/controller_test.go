@@ -72,6 +72,28 @@ func (f *fakeData) DeleteSegment(name string) error {
 	return nil
 }
 
+func (f *fakeData) MergeSegment(target, source string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	src, ok := f.segments[source]
+	if !ok {
+		return segstore.ErrSegmentNotFound
+	}
+	tgt, ok := f.segments[target]
+	if !ok {
+		return segstore.ErrSegmentNotFound
+	}
+	if tgt.sealed {
+		return segstore.ErrSegmentSealed
+	}
+	if !src.sealed {
+		return segstore.ErrSegmentNotSealed
+	}
+	tgt.length += src.length - src.startOffset
+	delete(f.segments, source)
+	return nil
+}
+
 func (f *fakeData) SegmentInfo(name string) (segment.Info, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -137,6 +137,9 @@ type streamState struct {
 	cuts []recordedCut
 	// scaling bookkeeping
 	lastScale time.Time
+	// txns tracks the stream's transactions by id (persisted, so open
+	// transactions survive controller failover).
+	txns map[string]*TxnRecord
 }
 
 type recordedCut struct {

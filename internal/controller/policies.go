@@ -7,10 +7,11 @@ import (
 	"github.com/pravega-go/pravega/internal/segment"
 )
 
-// StartPolicyLoops launches the auto-scaling feedback loop (§3.1) and the
-// retention loop (§2.1) with the given evaluation interval.
+// StartPolicyLoops launches the auto-scaling feedback loop (§3.1), the
+// retention loop (§2.1), and the transaction reaper (§3.2) with the given
+// evaluation interval.
 func (c *Controller) StartPolicyLoops(interval time.Duration) {
-	c.wg.Add(2)
+	c.wg.Add(3)
 	go func() {
 		defer c.wg.Done()
 		ticker := time.NewTicker(interval)
@@ -34,6 +35,19 @@ func (c *Controller) StartPolicyLoops(interval time.Duration) {
 				return
 			case <-ticker.C:
 				c.evaluateRetention()
+			}
+		}
+	}()
+	go func() {
+		defer c.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-ticker.C:
+				c.evaluateTxns()
 			}
 		}
 	}()

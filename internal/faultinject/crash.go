@@ -30,6 +30,18 @@ const (
 	// PointAfterWALTruncate crashes right after WAL ledgers are released:
 	// everything recovery needs must still be in the retained tail.
 	PointAfterWALTruncate Point = "after-wal-truncate"
+	// PointBeforeMergeApply crashes with a transaction merge durable in the
+	// WAL but not yet applied: recovery must replay it, so the commit is
+	// observed in full.
+	PointBeforeMergeApply Point = "before-merge-apply"
+	// PointMidMerge crashes in the torn middle of a merge application —
+	// target extended, source still present in memory. The single atomic WAL
+	// entry must heal this to fully-merged on recovery.
+	PointMidMerge Point = "mid-merge"
+	// PointAfterMergeApply crashes after the merge applied (metadata flip
+	// done), before acknowledgement: recovery must keep it applied and the
+	// retry must recognise the vanished source as success.
+	PointAfterMergeApply Point = "after-merge-apply"
 )
 
 // AllPoints lists every crash point (schedule generation).
@@ -39,6 +51,17 @@ var AllPoints = []Point{
 	PointBeforeFlushRetire,
 	PointBeforeCheckpoint,
 	PointAfterWALTruncate,
+	PointBeforeMergeApply,
+	PointMidMerge,
+	PointAfterMergeApply,
+}
+
+// MergePoints lists the crash points around the transaction commit-by-merge
+// (the atomicity suite iterates them).
+var MergePoints = []Point{
+	PointBeforeMergeApply,
+	PointMidMerge,
+	PointAfterMergeApply,
 }
 
 // CrashPlan crashes the container at the Nth hit (1-based; 0 means first)
@@ -121,5 +144,8 @@ func (in *Injector) Hooks() *segstore.Hooks {
 		BeforeFlushRetire: func(string, string, int64) bool { return in.hit(PointBeforeFlushRetire) },
 		BeforeCheckpoint:  func() bool { return in.hit(PointBeforeCheckpoint) },
 		AfterWALTruncate:  func() bool { return in.hit(PointAfterWALTruncate) },
+		BeforeMergeApply:  func(string, string) bool { return in.hit(PointBeforeMergeApply) },
+		MidMerge:          func(string, string) bool { return in.hit(PointMidMerge) },
+		AfterMergeApply:   func(string, string) bool { return in.hit(PointAfterMergeApply) },
 	}
 }

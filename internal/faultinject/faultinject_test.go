@@ -376,6 +376,12 @@ func TestCrashAtEachPoint(t *testing.T) {
 				seg := h.segs[i%len(h.segs)]
 				h.stepAppend(seg, h.model[seg])
 			}
+			isMerge := false
+			for _, mp := range MergePoints {
+				if mp == pt {
+					isMerge = true
+				}
+			}
 			plan := &CrashPlan{Point: pt, Nth: 1}
 			h.inj.Arm(plan)
 			deadline := time.Now().Add(20 * time.Second)
@@ -384,6 +390,11 @@ func TestCrashAtEachPoint(t *testing.T) {
 					t.Fatalf("crash point %s never fired", pt)
 				}
 				seg := h.segs[0]
+				if isMerge {
+					// Merge points only arise on the transaction commit path.
+					h.stepMergeTxn(seg, h.model[seg])
+					continue
+				}
 				h.stepAppend(seg, h.model[seg])
 				h.mustRetry("flush", func() error { return h.container().FlushAll() })
 				h.mustRetry("checkpoint", func() error { return h.container().Checkpoint() })

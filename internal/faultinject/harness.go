@@ -78,6 +78,7 @@ type Harness struct {
 	model     map[string]*segModel
 	segs      []string
 	nextEvent map[string]int64
+	txnSeq    int64
 
 	// pending is the single in-flight operation whose failure was ambiguous
 	// (the crash raced the ack). Until its retry resolves it, recovered
@@ -92,9 +93,9 @@ type Harness struct {
 
 // pendingOp describes an operation submitted but not yet acknowledged.
 type pendingOp struct {
-	kind string // "append", "seal", "truncate", "create"
+	kind string // "append", "seal", "truncate", "create", "merge"
 	seg  string
-	data []byte // append payload
+	data []byte // append payload, or merged shadow content for "merge"
 	num  int64  // append event number
 	at   int64  // truncate offset
 }
@@ -277,7 +278,7 @@ func (h *Harness) verifyOnce() error {
 		}
 		wantLen := int64(len(m.data))
 		pendLen := wantLen
-		if p != nil && p.kind == "append" {
+		if p != nil && (p.kind == "append" || p.kind == "merge") {
 			pendLen += int64(len(p.data))
 		}
 		if info.Length != wantLen && info.Length != pendLen {
@@ -309,8 +310,10 @@ func (h *Harness) verifyOnce() error {
 		if err := h.verifyReadFrom(c, seg, m, info.StartOffset); err != nil {
 			return err
 		}
-		if info.Length == pendLen && p != nil && p.kind == "append" && len(p.data) > 0 && info.StartOffset <= wantLen {
-			// The in-flight append proved durable; its bytes must match.
+		if info.Length == pendLen && p != nil && (p.kind == "append" || p.kind == "merge") && len(p.data) > 0 && info.StartOffset <= wantLen {
+			// The in-flight append (or merge) proved durable; its bytes must
+			// match. A partially applied merge would surface here as a length
+			// that matches neither oracle value, or as foreign bytes.
 			res, err := c.Read(seg, wantLen, len(p.data), 0)
 			if err != nil {
 				return err
@@ -417,16 +420,18 @@ func (h *Harness) step() {
 	seg := h.segs[h.rng.Intn(len(h.segs))]
 	m := h.model[seg]
 	switch r := h.rng.Intn(100); {
-	case r < 70:
+	case r < 60:
 		h.stepAppend(seg, m)
-	case r < 85:
+	case r < 75:
 		h.mustRetry(fmt.Sprintf("read %s", seg), func() error {
 			return h.verifyRead(h.container(), seg, m)
 		})
-	case r < 91:
+	case r < 81:
 		h.stepTruncate(seg, m)
-	case r < 95:
+	case r < 85:
 		h.stepSeal(seg, m)
+	case r < 95:
+		h.stepMergeTxn(seg, m)
 	default:
 		h.mustRetry("checkpoint", func() error {
 			return h.container().Checkpoint()
@@ -496,6 +501,68 @@ func (h *Harness) stepSeal(seg string, m *segModel) {
 	})
 	h.pending = nil
 	m.sealed = true
+}
+
+// stepMergeTxn models one stream transaction against seg (§3.2): it builds
+// a shadow segment, appends a few events into it, seals it, and commits by
+// merging it into the parent. Every phase survives crash-recovery retries;
+// the merge itself is the atomicity probe — after any crash the parent must
+// hold either none of the shadow's bytes or all of them, never a prefix.
+func (h *Harness) stepMergeTxn(seg string, m *segModel) {
+	if m.sealed {
+		return
+	}
+	h.txnSeq++
+	shadow := fmt.Sprintf("%s#transaction.%08x", seg, h.txnSeq)
+	h.mustRetry(fmt.Sprintf("create shadow %s", shadow), func() error {
+		err := h.container().CreateSegment(shadow)
+		if errors.Is(err, segstore.ErrSegmentExists) {
+			return nil // applied before a crash
+		}
+		return err
+	})
+
+	var payload []byte
+	writerID := "txn-" + shadow
+	events := int64(1 + h.rng.Intn(3))
+	for ev := int64(1); ev <= events; ev++ {
+		data := make([]byte, 1+h.rng.Intn(400))
+		h.rng.Read(data)
+		h.mustRetry(fmt.Sprintf("append shadow %s event %d", shadow, ev), func() error {
+			// Writer dedup makes the retry exactly-once (off == -1 on a
+			// deduplicated landing).
+			_, err := h.container().Append(shadow, data, writerID, ev, 1)
+			return err
+		})
+		payload = append(payload, data...)
+	}
+	h.mustRetry(fmt.Sprintf("seal shadow %s", shadow), func() error {
+		_, err := h.container().Seal(shadow)
+		if errors.Is(err, segstore.ErrSegmentSealed) {
+			return nil
+		}
+		return err
+	})
+
+	wantOff := int64(len(m.data))
+	h.pending = &pendingOp{kind: "merge", seg: seg, data: payload}
+	h.mustRetry(fmt.Sprintf("merge %s into %s", shadow, seg), func() error {
+		off, err := h.container().MergeSegment(seg, shadow)
+		if errors.Is(err, segstore.ErrSegmentNotFound) {
+			// The shadow is gone: only the merge deletes it, so a previous
+			// ambiguous attempt was applied in full.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if off != wantOff {
+			return fmt.Errorf("%w: %s merge at offset %d, oracle %d", errDivergence, seg, off, wantOff)
+		}
+		return nil
+	})
+	h.pending = nil
+	m.data = append(m.data, payload...)
 }
 
 func isAmbiguous(err error) bool {

@@ -1,0 +1,44 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestMergeCrashPoints drives one transaction commit-by-merge into a crash
+// at each merge-specific point and proves commit atomicity: after recovery
+// the parent segment holds either all of the transaction's bytes or none,
+// never a prefix, and a reconnecting committer converges to fully merged.
+// The harness oracle enforces exactly that (verifyOnce accepts only the two
+// lengths and byte-compares whichever one is observed).
+func TestMergeCrashPoints(t *testing.T) {
+	for _, pt := range MergePoints {
+		t.Run(string(pt), func(t *testing.T) {
+			t.Parallel()
+			h := NewHarness(t, HarnessConfig{Seed: 1, Ops: 0, Segments: 1})
+			defer h.Close()
+			seg := h.segs[0]
+			m := h.model[seg]
+
+			// Settle some pre-transaction bytes in the parent.
+			h.stepAppend(seg, m)
+			h.stepAppend(seg, m)
+
+			h.inj.Arm(&CrashPlan{Point: pt, Nth: 1})
+			h.stepMergeTxn(seg, m)
+			if !h.inj.Armed().Fired() {
+				t.Fatalf("crash plan at %s never fired", pt)
+			}
+			if h.Recovered == 0 {
+				t.Fatalf("merge crash at %s did not force a recovery", pt)
+			}
+			h.inj.Disarm()
+
+			// The committed transaction stays intact through another crash
+			// cycle and a full drain to tiered storage.
+			h.recoverAndVerify(fmt.Sprintf("post-commit probe at %s", pt))
+			h.drain()
+			t.Logf("%s: %d crashes, %d recoveries", pt, h.Crashes, h.Recovered)
+		})
+	}
+}

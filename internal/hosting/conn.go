@@ -143,6 +143,15 @@ func (c *Conn) CreateSegment(name string) error {
 	return err
 }
 
+// MergeSegment atomically folds the sealed source segment into the target
+// (transaction commit, §3.2).
+func (c *Conn) MergeSegment(target, source string) (int64, error) {
+	c.oneWay()
+	off, err := c.cl.MergeSegmentAt(target, source)
+	c.oneWay()
+	return off, err
+}
+
 // Close releases the connection. The in-process links hold no OS
 // resources; Close exists to satisfy client.DataTransport.
 func (c *Conn) Close() error { return nil }

@@ -190,9 +190,11 @@ func (cl *Cluster) ContainerHomes() map[int]int {
 // Bookies returns the bookie instances (failure injection).
 func (cl *Cluster) Bookies() []*bookkeeper.Bookie { return cl.bookies }
 
-// StoreFor routes a qualified segment name to its owning store.
+// StoreFor routes a qualified segment name to its owning store. Transaction
+// segments route by their parent's name, keeping shadow and parent in the
+// same container.
 func (cl *Cluster) StoreFor(name string) (*segstore.Store, error) {
-	id := keyspace.HashToContainer(name, cl.total)
+	id := keyspace.HashToContainer(segment.RoutingName(name), cl.total)
 	si, ok := cl.containerHome[id]
 	if !ok {
 		return nil, fmt.Errorf("hosting: container %d has no home", id)
@@ -258,6 +260,81 @@ func (cl *Cluster) DeleteSegment(name string) error {
 		return err
 	}
 	return st.DeleteSegment(name)
+}
+
+// MergeSegment implements controller.DataPlane: it atomically folds the
+// sealed source segment into the target (transaction commit, §3.2).
+func (cl *Cluster) MergeSegment(target, source string) error {
+	_, err := cl.MergeSegmentAt(target, source)
+	return err
+}
+
+// MergeSegmentAt merges the sealed source segment into the target and
+// returns the target offset at which the merged bytes begin.
+//
+// A transaction's shadow segment routes with its parent, so the common case
+// is container-local and uses the single-WAL-op atomic merge. When a scale
+// sealed the parent mid-transaction, the commit target is a successor that
+// may hash to a different container (or store); the merge then degrades to
+// copy-and-delete: the source's sealed bytes land in the target through one
+// append (readers still observe all of them or none), under a writer
+// identity derived from the source name so the append pipeline's
+// (writer, event) dedup makes a retry after a crash between copy and delete
+// idempotent, and only then is the source deleted. A dedup-short-circuited
+// retry reports offset -1.
+func (cl *Cluster) MergeSegmentAt(target, source string) (int64, error) {
+	tst, err := cl.StoreFor(target)
+	if err != nil {
+		return 0, err
+	}
+	sst, err := cl.StoreFor(source)
+	if err != nil {
+		return 0, err
+	}
+	if tst == sst {
+		tc, err := tst.Container(target)
+		if err != nil {
+			return 0, err
+		}
+		sc, err := tst.Container(source)
+		if err != nil {
+			return 0, err
+		}
+		if tc == sc {
+			return tst.MergeSegment(target, source)
+		}
+	}
+
+	info, err := sst.GetInfo(source)
+	if err != nil {
+		return 0, err
+	}
+	if !info.Sealed {
+		return 0, fmt.Errorf("%w: merge source %s", segstore.ErrSegmentNotSealed, source)
+	}
+	data := make([]byte, 0, info.Length-info.StartOffset)
+	for off := info.StartOffset; off < info.Length; {
+		res, err := sst.Read(source, off, int(info.Length-off), 0)
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Data) == 0 {
+			return 0, fmt.Errorf("hosting: merge read of %s stalled at offset %d", source, off)
+		}
+		data = append(data, res.Data...)
+		off += int64(len(res.Data))
+	}
+	var off int64 = -1
+	if len(data) > 0 {
+		off, err = tst.Append(target, data, "txn-merge#"+source, 1, 1)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if err := sst.DeleteSegment(source); err != nil && !errors.Is(err, segstore.ErrSegmentNotFound) {
+		return 0, err
+	}
+	return off, nil
 }
 
 // SegmentInfo implements controller.DataPlane.

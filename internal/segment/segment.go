@@ -49,6 +49,37 @@ func ParseQualifiedName(name string) (ID, error) {
 
 func (id ID) String() string { return id.QualifiedName() }
 
+// txnMarker separates a parent segment's qualified name from the
+// transaction id in a transaction (shadow) segment name. Transaction
+// segments collect a transaction's events invisibly to readers; on commit
+// the segment store merges their bytes into the parent (§3.2).
+const txnMarker = "#transaction."
+
+// TxnSegmentName derives the shadow segment name for a transaction on a
+// parent segment.
+func TxnSegmentName(parentQualified, txnID string) string {
+	return parentQualified + txnMarker + txnID
+}
+
+// IsTxnSegment reports whether a qualified name denotes a transaction
+// shadow segment.
+func IsTxnSegment(name string) bool { return strings.Contains(name, txnMarker) }
+
+// TxnParent returns the parent segment's qualified name for a transaction
+// segment (the name unchanged when it is not one).
+func TxnParent(name string) string {
+	if i := strings.Index(name, txnMarker); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// RoutingName returns the name used for container routing: a transaction
+// segment routes by its parent's name, so shadow and parent always live in
+// the same container and commit-by-merge is a container-local atomic
+// operation (§3.2).
+func RoutingName(name string) string { return TxnParent(name) }
+
 // Info is the metadata a segment store reports about one segment.
 type Info struct {
 	Name string

@@ -27,6 +27,7 @@ var (
 	ErrWrongContainer    = errors.New("segstore: segment maps to a different container")
 	ErrReadTimeout       = errors.New("segstore: tail read timed out")
 	ErrNoReadSource      = errors.New("segstore: no source for read")
+	ErrSegmentNotSealed  = errors.New("segstore: segment is not sealed")
 )
 
 // flushItem is applied-but-not-yet-tiered append data awaiting the storage
@@ -56,7 +57,10 @@ type segState struct {
 	unflushed   []flushItem
 	waiters     []chan struct{}
 	pendingSeal bool
-	meter       *metrics.RateMeter
+	// pendingMerge marks a sealed segment with a merge-segment operation in
+	// flight: a second merge of the same source is rejected at validation.
+	pendingMerge bool
+	meter        *metrics.RateMeter
 }
 
 // chunkMeta locates one LTS chunk of a segment (§4.3). The list is ordered
@@ -334,10 +338,85 @@ func (c *Container) applyRecovered(op *Operation, addr wal.Address) {
 			c.applyTruncateLocked(s, op.TruncateAt)
 		}
 	case OpDelete:
-		delete(c.segments, op.Segment)
+		if s, ok := c.segments[op.Segment]; ok {
+			n := c.removeSegmentLocked(op.Segment, s)
+			c.releaseUnflushedLocked(n)
+		}
+	case OpMergeSegment:
+		// One WAL entry carries the whole transition: drop the source (it
+		// may have been rebuilt by replaying its own create/appends earlier
+		// in the log), then re-apply its bytes to the target, trimmed
+		// against the tiered prefix exactly like an append.
+		if src, ok := c.segments[op.Source]; ok {
+			n := c.removeSegmentLocked(op.Source, src)
+			c.releaseUnflushedLocked(n)
+		}
+		s, ok := c.segments[op.Segment]
+		if !ok || len(op.Data) == 0 {
+			return
+		}
+		if end := op.Offset + int64(len(op.Data)); end <= s.storageLength {
+			return
+		}
+		if op.Offset < s.storageLength {
+			cut := s.storageLength - op.Offset
+			op.Data = op.Data[cut:]
+			op.Offset = s.storageLength
+		}
+		c.applyAppendLocked(s, op, addr)
+		c.flushMu.Lock()
+		c.unflushedBytes += int64(len(op.Data))
+		c.flushMu.Unlock()
+		mUnflushedBytes.Add(int64(len(op.Data)))
+		c.kickFlush()
 	case OpCheckpoint:
 		// Handled during checkpoint location.
 	}
+}
+
+// removeSegmentLocked deletes a segment's in-memory state: tail waiters are
+// released, read-index cache entries are reclaimed, LTS chunks are deleted
+// asynchronously and the readahead prefetcher is invalidated. It returns
+// the segment's un-tiered byte count so the caller can release its share of
+// the throttle budget. Caller holds c.mu.
+func (c *Container) removeSegmentLocked(name string, s *segState) int64 {
+	for _, w := range s.waiters {
+		close(w)
+	}
+	s.waiters = nil
+	var unflushed int64
+	for _, it := range s.unflushed {
+		unflushed += int64(len(it.data))
+	}
+	for _, addr := range s.index.TruncateBefore(1 << 62) {
+		_ = c.cache.Delete(addr)
+	}
+	chunks := append([]chunkMeta(nil), s.chunks...)
+	delete(c.segments, name)
+	if c.ra != nil {
+		c.ra.Invalidate(name, -1)
+	}
+	if len(chunks) > 0 {
+		// The caller's goroutine is wg-tracked (applier) or precedes the
+		// pipeline start (recovery), so the counter cannot hit zero while
+		// this Add runs.
+		c.wg.Add(1)
+		go c.deleteChunks(chunks)
+	}
+	return unflushed
+}
+
+// releaseUnflushedLocked returns n un-tiered bytes to the throttle budget.
+// Caller holds c.mu (flushMu is ordered after it).
+func (c *Container) releaseUnflushedLocked(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.flushMu.Lock()
+	c.unflushedBytes -= n
+	c.flushMu.Unlock()
+	mUnflushedBytes.Add(-n)
+	c.flushCond.Broadcast()
 }
 
 // applyWriterAttrLocked records the writer's last event number (§3.2).

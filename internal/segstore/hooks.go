@@ -38,4 +38,22 @@ type Hooks struct {
 	// verifies truncation never outruns tiering: everything recovery needs
 	// must still be in the retained tail.
 	AfterWALTruncate func() bool
+
+	// BeforeMergeApply fires after a merge-segment operation is
+	// WAL-acknowledged, just before it is applied to in-memory state (the
+	// metadata flip that makes the merged bytes visible). A crash here must
+	// recover to the merge fully applied — the WAL entry is durable.
+	BeforeMergeApply func(target, source string) bool
+
+	// MidMerge fires while a merge is being applied: after the target
+	// segment has absorbed the source's bytes but before the source segment
+	// is removed. The crash is deferred until the frame's application
+	// completes, modelling a torn in-memory state that recovery must heal by
+	// replaying the single atomic WAL entry.
+	MidMerge func(target, source string) bool
+
+	// AfterMergeApply fires after the merge has been applied (source gone,
+	// target extended), before any acknowledgement. A crash here must
+	// recover with the merge still fully applied.
+	AfterMergeApply func(target, source string) bool
 }

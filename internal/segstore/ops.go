@@ -25,6 +25,12 @@ const (
 	OpTruncate
 	OpDelete
 	OpCheckpoint
+	// OpMergeSegment atomically appends a sealed source segment's full
+	// content to a target segment and deletes the source — the commit step
+	// of stream transactions (§3.2). The source's bytes ride in Data so a
+	// single WAL entry carries the whole state transition; replay re-applies
+	// it idempotently.
+	OpMergeSegment
 )
 
 // Operation is one durable state mutation. Every operation carries the
@@ -51,6 +57,10 @@ type Operation struct {
 
 	// Checkpoint payload (serialized container metadata).
 	Checkpoint []byte
+
+	// Source is the merged-from segment of an OpMergeSegment (its bytes are
+	// carried in Data; Offset is the target offset they land at).
+	Source string
 }
 
 const maxSegmentNameLen = 1024
@@ -84,6 +94,10 @@ func (op *Operation) Marshal(dst []byte) []byte {
 		dst = binary.AppendVarint(dst, op.TruncateAt)
 	case OpCheckpoint:
 		dst = appendUvarintBytes(dst, op.Checkpoint)
+	case OpMergeSegment:
+		dst = binary.AppendVarint(dst, op.Offset)
+		dst = appendUvarintBytes(dst, []byte(op.Source))
+		dst = appendUvarintBytes(dst, op.Data)
 	case OpCreate, OpSeal, OpDelete:
 		// Name only.
 	}
@@ -179,6 +193,32 @@ func unmarshalOperation(src []byte, alias bool, prev *Operation) (Operation, []b
 			op.Checkpoint = append([]byte(nil), cp...)
 		}
 		src = rest
+	case OpMergeSegment:
+		var sz int
+		op.Offset, sz = binary.Varint(src)
+		if sz <= 0 {
+			return Operation{}, nil, errors.New("segstore: bad merge offset")
+		}
+		src = src[sz:]
+		srcName, rest, err := consumeUvarintBytes(src)
+		if err != nil {
+			return Operation{}, nil, err
+		}
+		if len(srcName) > maxSegmentNameLen {
+			return Operation{}, nil, fmt.Errorf("segstore: merge source name too long (%d)", len(srcName))
+		}
+		op.Source = string(srcName)
+		src = rest
+		data, rest2, err := consumeUvarintBytes(src)
+		if err != nil {
+			return Operation{}, nil, err
+		}
+		if alias {
+			op.Data = data
+		} else {
+			op.Data = append([]byte(nil), data...)
+		}
+		src = rest2
 	case OpCreate, OpSeal, OpDelete:
 		// Name only.
 	default:
@@ -197,7 +237,7 @@ func MarshalFrame(ops []*Operation) []byte {
 func appendFrame(buf []byte, ops []*Operation) []byte {
 	var size int
 	for _, op := range ops {
-		size += 64 + len(op.Data) + len(op.Segment) + len(op.Checkpoint)
+		size += 64 + len(op.Data) + len(op.Segment) + len(op.Checkpoint) + len(op.Source)
 	}
 	if cap(buf)-len(buf) < size {
 		grown := make([]byte, len(buf), len(buf)+size)

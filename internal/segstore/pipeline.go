@@ -446,6 +446,34 @@ func (c *Container) validateAndSequence(op *Operation) error {
 			return fmt.Errorf("%w: %s", ErrSegmentNotFound, op.Segment)
 		}
 		return nil
+	case OpMergeSegment:
+		if !exists {
+			return fmt.Errorf("%w: %s", ErrSegmentNotFound, op.Segment)
+		}
+		if s.sealed || s.pendingSeal {
+			return fmt.Errorf("%w: %s", ErrSegmentSealed, op.Segment)
+		}
+		if op.Source == op.Segment {
+			return fmt.Errorf("segstore: cannot merge %s into itself", op.Segment)
+		}
+		src, ok := c.segments[op.Source]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrSegmentNotFound, op.Source)
+		}
+		if !src.sealed {
+			return fmt.Errorf("%w: merge source %s", ErrSegmentNotSealed, op.Source)
+		}
+		if src.pendingMerge {
+			return fmt.Errorf("%w: %s (merge in flight)", ErrSegmentNotFound, op.Source)
+		}
+		if have := src.length - src.startOffset; have != int64(len(op.Data)) {
+			return fmt.Errorf("segstore: merge source %s content mismatch (op carries %d bytes, source holds %d)",
+				op.Source, len(op.Data), have)
+		}
+		src.pendingMerge = true
+		op.Offset = s.pendingLength
+		s.pendingLength += int64(len(op.Data))
+		return nil
 	default:
 		return fmt.Errorf("segstore: unknown operation type %d", op.Type)
 	}
@@ -588,16 +616,25 @@ func (c *Container) applyFrame(f *frameResult) {
 	}
 	if h := c.cfg.Hooks; h != nil && h.BeforeApply != nil && h.BeforeApply(f.seq) {
 		c.requestCrash()
-		for _, p := range f.done {
-			p.complete(AppendResult{Err: ErrContainerDown})
-		}
-		for _, p := range f.dups {
-			p.complete(AppendResult{Err: ErrContainerDown})
-		}
+		failFrameOps(f, ErrContainerDown)
 		return
 	}
+	// Merge crash hooks run outside c.mu: requestCrash re-enters the lock
+	// via markDown. BeforeMergeApply fires with the WAL entry durable but
+	// nothing applied; recovery must replay the whole merge.
+	if h := c.cfg.Hooks; h != nil && h.BeforeMergeApply != nil {
+		for _, op := range f.ops {
+			if op.Type == OpMergeSegment && h.BeforeMergeApply(op.Segment, op.Source) {
+				c.requestCrash()
+				failFrameOps(f, ErrContainerDown)
+				return
+			}
+		}
+	}
 	var appendBytes, deletedUnflushed int64
+	crashMid := false
 	c.mu.Lock()
+applyLoop:
 	for i, op := range f.ops {
 		p := f.done[i]
 		s := c.segments[op.Segment]
@@ -628,23 +665,32 @@ func (c *Container) applyFrame(f *frameResult) {
 			}
 		case OpDelete:
 			if s != nil {
-				for _, w := range s.waiters {
-					close(w)
-				}
 				// The segment's un-tiered backlog disappears with it;
 				// release its share of the throttle budget.
-				for _, it := range s.unflushed {
-					deletedUnflushed += int64(len(it.data))
+				deletedUnflushed += c.removeSegmentLocked(op.Segment, s)
+			}
+		case OpMergeSegment:
+			// Commit-by-merge (§3.2): the source's bytes become contiguous
+			// target bytes and the source vanishes, all under this one c.mu
+			// hold — readers and later frames observe either both effects or
+			// neither.
+			appendBytes += int64(len(op.Data))
+			if s != nil {
+				if len(op.Data) > 0 {
+					c.applyAppendLocked(s, op, f.addr)
 				}
-				chunks := append([]chunkMeta(nil), s.chunks...)
-				delete(c.segments, op.Segment)
-				if c.ra != nil {
-					c.ra.Invalidate(op.Segment, -1)
-				}
-				// The applier itself is wg-tracked, so the counter cannot
-				// hit zero while this Add runs.
-				c.wg.Add(1)
-				go c.deleteChunks(chunks)
+				p.result.Offset = op.Offset
+			}
+			if h := c.cfg.Hooks; h != nil && h.MidMerge != nil && h.MidMerge(op.Segment, op.Source) {
+				// Torn point: target extended, source still present. The
+				// crash itself is deferred past the unlock (markDown takes
+				// c.mu); remaining frame ops are not applied — recovery
+				// replays the durable frame in full.
+				crashMid = true
+				break applyLoop
+			}
+			if src, ok := c.segments[op.Source]; ok {
+				deletedUnflushed += c.removeSegmentLocked(op.Source, src)
 			}
 		case OpCheckpoint:
 			c.flushMu.Lock()
@@ -655,6 +701,21 @@ func (c *Container) applyFrame(f *frameResult) {
 		}
 	}
 	c.mu.Unlock()
+
+	if crashMid {
+		c.requestCrash()
+		failFrameOps(f, ErrContainerDown)
+		return
+	}
+	if h := c.cfg.Hooks; h != nil && h.AfterMergeApply != nil {
+		for _, op := range f.ops {
+			if op.Type == OpMergeSegment && h.AfterMergeApply(op.Segment, op.Source) {
+				c.requestCrash()
+				failFrameOps(f, ErrContainerDown)
+				return
+			}
+		}
+	}
 
 	c.framesWritten.Add(1)
 	c.opsProcessed.Add(int64(len(f.ops)))
@@ -691,6 +752,57 @@ func (c *Container) applyFrame(f *frameResult) {
 	for _, p := range f.dups {
 		p.complete(p.result)
 	}
+}
+
+// failFrameOps completes every operation of a frame with err.
+func failFrameOps(f *frameResult, err error) {
+	for _, p := range f.done {
+		p.complete(AppendResult{Err: err})
+	}
+	for _, p := range f.dups {
+		p.complete(AppendResult{Err: err})
+	}
+}
+
+// MergeSegment atomically appends the sealed source segment's entire
+// content to the target and deletes the source — the commit step of stream
+// transactions (§3.2). The source's bytes are read up front and carried in
+// a single WAL operation, so the merge is crash-atomic: recovery either
+// replays the whole transition or never sees it, and readers observe the
+// merged bytes as ordinary contiguous target bytes (tiered like any
+// others). It returns the target offset at which the merged bytes begin.
+//
+// A retry after an ambiguous failure that finds the source already gone
+// (ErrSegmentNotFound) should treat the merge as applied: the source is
+// deleted only by the merge itself.
+func (c *Container) MergeSegment(target, source string) (int64, error) {
+	info, err := c.GetInfo(source)
+	if err != nil {
+		return 0, err
+	}
+	if !info.Sealed {
+		return 0, fmt.Errorf("%w: merge source %s", ErrSegmentNotSealed, source)
+	}
+	data := make([]byte, 0, info.Length-info.StartOffset)
+	for off := info.StartOffset; off < info.Length; {
+		res, err := c.Read(source, off, int(info.Length-off), 0)
+		if err != nil {
+			return 0, err
+		}
+		if len(res.Data) == 0 {
+			return 0, fmt.Errorf("segstore: merge read of %s stalled at offset %d", source, off)
+		}
+		data = append(data, res.Data...)
+		off += int64(len(res.Data))
+	}
+	c.throttle()
+	return c.submit(Operation{
+		Type:       OpMergeSegment,
+		Segment:    target,
+		Source:     source,
+		Data:       data,
+		CondOffset: -1,
+	})
 }
 
 func (c *Container) deleteChunks(chunks []chunkMeta) {

@@ -109,8 +109,10 @@ func (st *Store) CrashContainer(id int) error {
 
 // Container returns the hosted container for a segment name, or
 // ErrWrongContainer when this store does not own the mapped container.
+// Transaction segments route by their parent's name (segment.RoutingName)
+// so commit-by-merge is container-local.
 func (st *Store) Container(segmentName string) (*Container, error) {
-	id := keyspace.HashToContainer(segmentName, st.cfg.TotalContainers)
+	id := keyspace.HashToContainer(segment.RoutingName(segmentName), st.cfg.TotalContainers)
 	return st.ContainerByID(id)
 }
 
@@ -197,6 +199,17 @@ func (st *Store) DeleteSegment(name string) error {
 		return err
 	}
 	return c.DeleteSegment(name)
+}
+
+// MergeSegment routes to the container owning the target segment.
+// Transaction shadow segments route by their parent's name, so target and
+// source always share a container and the merge is container-local.
+func (st *Store) MergeSegment(target, source string) (int64, error) {
+	c, err := st.Container(target)
+	if err != nil {
+		return 0, err
+	}
+	return c.MergeSegment(target, source)
 }
 
 // GetInfo routes to the owning container.

@@ -129,9 +129,10 @@ func (c *Client) Close() error {
 }
 
 // storeFor routes a qualified segment name to its store's connection, the
-// same hash the server-side cluster uses.
+// same hash the server-side cluster uses (transaction segments route by
+// their parent's name).
 func (c *Client) storeFor(name string) *storeConn {
-	id := keyspace.HashToContainer(name, c.info.TotalContainers)
+	id := keyspace.HashToContainer(segment.RoutingName(name), c.info.TotalContainers)
 	return c.stores[c.info.ContainerHome[id]]
 }
 
@@ -435,6 +436,18 @@ func (c *Client) CreateSegment(name string) error {
 	return err
 }
 
+// MergeSegment atomically folds the sealed source segment into the target
+// (transaction commit, §3.2). Routed by the target's name; transaction
+// shadow segments hash identically to their parent, so the pair lands on
+// one store.
+func (c *Client) MergeSegment(target, source string) (int64, error) {
+	rep, err := c.storeFor(target).call(MsgMergeSegments, MergeReq{Target: target, Source: source})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Offset, nil
+}
+
 // --- client.ControlTransport ---
 
 func (c *Client) CreateScope(scope string) error {
@@ -543,4 +556,38 @@ func (c *Client) SegmentCount(scope, stream string) (int, error) {
 		return 0, err
 	}
 	return rep.Count, nil
+}
+
+func (c *Client) BeginTxn(scope, stream string, lease time.Duration) (controller.TxnInfo, error) {
+	rep, err := c.ctrl.call(MsgBeginTxn, TxnReq{Scope: scope, Stream: stream, LeaseMS: lease.Milliseconds()})
+	if err != nil {
+		return controller.TxnInfo{}, err
+	}
+	var info controller.TxnInfo
+	if err := json.Unmarshal(rep.JSON, &info); err != nil {
+		return controller.TxnInfo{}, fmt.Errorf("wire: begin txn: %w", err)
+	}
+	return info, nil
+}
+
+func (c *Client) CommitTxn(scope, stream, txnID string) error {
+	_, err := c.ctrl.call(MsgCommitTxn, TxnReq{Scope: scope, Stream: stream, TxnID: txnID})
+	return err
+}
+
+func (c *Client) AbortTxn(scope, stream, txnID string) error {
+	_, err := c.ctrl.call(MsgAbortTxn, TxnReq{Scope: scope, Stream: stream, TxnID: txnID})
+	return err
+}
+
+func (c *Client) TxnStatus(scope, stream, txnID string) (controller.TxnState, error) {
+	rep, err := c.ctrl.call(MsgTxnStatus, TxnReq{Scope: scope, Stream: stream, TxnID: txnID})
+	if err != nil {
+		return "", err
+	}
+	var state controller.TxnState
+	if err := json.Unmarshal(rep.JSON, &state); err != nil {
+		return "", fmt.Errorf("wire: txn status: %w", err)
+	}
+	return state, nil
 }

@@ -36,6 +36,10 @@ const (
 	codeDisconnected
 	codeCanceled
 	codeDeadline
+	// Transactions (appended in protocol order; never renumber).
+	codeTxnNotFound
+	codeTxnNotOpen
+	codeSegmentNotSealed
 )
 
 // codeSentinels maps codes to the sentinel errors they name, in both
@@ -62,6 +66,9 @@ var codeSentinels = []struct {
 	{codeDisconnected, client.ErrDisconnected},
 	{codeCanceled, context.Canceled},
 	{codeDeadline, context.DeadlineExceeded},
+	{codeTxnNotFound, controller.ErrTxnNotFound},
+	{codeTxnNotOpen, controller.ErrTxnNotOpen},
+	{codeSegmentNotSealed, segstore.ErrSegmentNotSealed},
 }
 
 // ErrCode returns the wire code for an error's sentinel, or codeNone when

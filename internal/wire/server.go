@@ -526,6 +526,49 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 		}
 		n, err := ctrl.SegmentCount(req.Scope, req.Stream)
 		return errReply(err, Reply{Count: n})
+	case MsgBeginTxn:
+		var req TxnReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		info, err := ctrl.BeginTxn(req.Scope, req.Stream, time.Duration(req.LeaseMS)*time.Millisecond)
+		if err != nil {
+			return errReply(err, Reply{})
+		}
+		raw, _ := json.Marshal(info)
+		return Reply{JSON: raw}
+	case MsgCommitTxn:
+		var req TxnReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		return errReply(ctrl.CommitTxn(req.Scope, req.Stream, req.TxnID), Reply{})
+	case MsgAbortTxn:
+		var req TxnReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		return errReply(ctrl.AbortTxn(req.Scope, req.Stream, req.TxnID), Reply{})
+	case MsgTxnStatus:
+		var req TxnReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		state, err := ctrl.TxnStatus(req.Scope, req.Stream, req.TxnID)
+		if err != nil {
+			return errReply(err, Reply{})
+		}
+		raw, _ := json.Marshal(state)
+		return Reply{JSON: raw}
+	case MsgMergeSegments:
+		var req MergeReq
+		if err := json.Unmarshal(body, &req); err != nil {
+			return errReply(err, Reply{})
+		}
+		// The cluster-level merge handles a target living in a different
+		// container or store than the source (commit after a scale).
+		off, err := cl.MergeSegmentAt(req.Target, req.Source)
+		return errReply(err, Reply{Offset: off})
 	case MsgClusterInfo:
 		info := ClusterInfo{
 			TotalContainers: cl.TotalContainers(),

@@ -61,6 +61,12 @@ const (
 	MsgScaleSegments
 	MsgCancelRead
 	MsgClusterInfo
+	// Transaction requests (§3.2).
+	MsgBeginTxn
+	MsgCommitTxn
+	MsgAbortTxn
+	MsgTxnStatus
+	MsgMergeSegments
 )
 
 // Every message is preceded by a fixed header: 4-byte body length, 1-byte
@@ -177,6 +183,22 @@ type TruncateStreamReq struct {
 	Scope  string          `json:"scope"`
 	Stream string          `json:"stream"`
 	Cut    map[int64]int64 `json:"cut"`
+}
+
+// TxnReq addresses a transaction (begin/commit/abort/status). LeaseMS is
+// only meaningful on begin; TxnID on the other three.
+type TxnReq struct {
+	Scope   string `json:"scope"`
+	Stream  string `json:"stream"`
+	TxnID   string `json:"txnId,omitempty"`
+	LeaseMS int64  `json:"leaseMs,omitempty"`
+}
+
+// MergeReq atomically folds the sealed source segment into the target
+// (transaction commit's data-plane primitive).
+type MergeReq struct {
+	Target string `json:"target"`
+	Source string `json:"source"`
 }
 
 // CancelReq asks the server to cancel the long-poll read issued under

@@ -37,6 +37,16 @@ var (
 	// ErrSegmentTruncated is returned when reading below a segment's
 	// truncation point (retention moved the head past the offset).
 	ErrSegmentTruncated = errors.New("pravega: offset below truncation point")
+	// ErrTxnNotFound is returned for operations on an unknown transaction
+	// (never begun, or already reaped after commit/abort).
+	ErrTxnNotFound = errors.New("pravega: transaction not found")
+	// ErrTxnNotOpen is returned when committing or writing to a transaction
+	// that is no longer open (aborted, lease-expired, or already on the
+	// other terminal path).
+	ErrTxnNotOpen = errors.New("pravega: transaction is not open")
+	// ErrTxnClosed is returned by WriteEvent on a transaction whose Commit
+	// or Abort was already invoked locally.
+	ErrTxnClosed = errors.New("pravega: transaction closed")
 	// ErrDisconnected is returned by a remote System (Connect) when an
 	// operation could not complete because the connection to the server was
 	// lost and not re-established within the retry window. Writers recover
@@ -68,6 +78,8 @@ var sentinelPairs = []struct{ internal, public error }{
 	{controller.ErrStreamExists, ErrStreamExists},
 	{controller.ErrStreamNotFound, ErrStreamNotFound},
 	{controller.ErrStreamSealed, ErrStreamSealed},
+	{controller.ErrTxnNotFound, ErrTxnNotFound},
+	{controller.ErrTxnNotOpen, ErrTxnNotOpen},
 	{client.ErrDisconnected, ErrDisconnected},
 }
 

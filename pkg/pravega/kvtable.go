@@ -1,6 +1,7 @@
 package pravega
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -68,10 +69,31 @@ func (b *kvBacking) Read(offset int64, maxBytes int) ([]byte, error) {
 // Get returns the key's entry, or ok=false when absent.
 func (t *KeyValueTable) Get(key string) (TableEntry, bool, error) { return t.table.Get(key) }
 
+// GetCtx is Get honoring ctx cancellation (see DESIGN.md §"Context
+// convention"): cancelling abandons the wait; the read itself is side-effect
+// free.
+func (t *KeyValueTable) GetCtx(ctx context.Context, key string) (TableEntry, bool, error) {
+	type hit struct {
+		e  TableEntry
+		ok bool
+	}
+	h, err := runCtxVal(ctx, func() (hit, error) {
+		e, ok, err := t.table.Get(key)
+		return hit{e, ok}, err
+	})
+	return h.e, h.ok, err
+}
+
 // Put writes key=value conditionally on expected (AnyVersion, NotExists or
 // an exact version) and returns the new version.
 func (t *KeyValueTable) Put(key string, value []byte, expected int64) (int64, error) {
 	return t.table.Put(key, value, expected)
+}
+
+// PutCtx is Put honoring ctx cancellation. Cancelling abandons the wait; the
+// conditional write may still land — re-read to learn the outcome.
+func (t *KeyValueTable) PutCtx(ctx context.Context, key string, value []byte, expected int64) (int64, error) {
+	return runCtxVal(ctx, func() (int64, error) { return t.table.Put(key, value, expected) })
 }
 
 // Delete removes the key conditionally.
@@ -79,12 +101,34 @@ func (t *KeyValueTable) Delete(key string, expected int64) error {
 	return t.table.Delete(key, expected)
 }
 
+// DeleteCtx is Delete honoring ctx cancellation; like PutCtx, a cancelled
+// call may still have applied.
+func (t *KeyValueTable) DeleteCtx(ctx context.Context, key string, expected int64) error {
+	return runCtx(ctx, func() error { return t.table.Delete(key, expected) })
+}
+
 // Txn applies all operations atomically, or none (§4.3: "transactions to
 // update multiple keys at once").
 func (t *KeyValueTable) Txn(ops []TableOp) error { return t.table.Txn(ops) }
 
+// TxnCtx is Txn honoring ctx cancellation; the transaction still applies
+// atomically or not at all if the wait is abandoned.
+func (t *KeyValueTable) TxnCtx(ctx context.Context, ops []TableOp) error {
+	return runCtx(ctx, func() error { return t.table.Txn(ops) })
+}
+
 // Keys lists the table's keys, sorted.
 func (t *KeyValueTable) Keys() ([]string, error) { return t.table.Keys() }
 
+// KeysCtx is Keys honoring ctx cancellation.
+func (t *KeyValueTable) KeysCtx(ctx context.Context) ([]string, error) {
+	return runCtxVal(ctx, func() ([]string, error) { return t.table.Keys() })
+}
+
 // Len returns the number of keys.
 func (t *KeyValueTable) Len() (int, error) { return t.table.Len() }
+
+// LenCtx is Len honoring ctx cancellation.
+func (t *KeyValueTable) LenCtx(ctx context.Context) (int, error) {
+	return runCtxVal(ctx, func() (int, error) { return t.table.Len() })
+}

@@ -23,8 +23,8 @@
 package pravega
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"time"
 
 	"github.com/pravega-go/pravega/internal/client"
@@ -280,21 +280,17 @@ func (s *System) Cluster() *hosting.Cluster { return s.cluster }
 func (s *System) Controller() *controller.Controller { return s.ctrl }
 
 // CreateScope registers a stream namespace.
-func (s *System) CreateScope(scope string) error { return convertErr(s.control.CreateScope(scope)) }
+//
+// Deprecated: use Streams().CreateScope, which takes a context.
+func (s *System) CreateScope(scope string) error {
+	return s.Streams().CreateScope(context.Background(), scope)
+}
 
 // CreateStream creates a stream.
+//
+// Deprecated: use Streams().Create, which takes a context.
 func (s *System) CreateStream(cfg StreamConfig) error {
-	return convertErr(s.control.CreateStream(controller.StreamConfig{
-		Scope:           cfg.Scope,
-		Name:            cfg.Name,
-		InitialSegments: cfg.InitialSegments,
-		Scaling:         toInternalScaling(cfg.Scaling),
-		Retention: controller.RetentionPolicy{
-			Type:          controller.RetentionType(orDefault(string(cfg.Retention.Type), string(RetentionNone))),
-			LimitBytes:    cfg.Retention.LimitBytes,
-			LimitDuration: cfg.Retention.LimitDuration,
-		},
-	}))
+	return s.Streams().Create(context.Background(), cfg)
 }
 
 func toInternalScaling(p ScalingPolicy) controller.ScalingPolicy {
@@ -314,72 +310,45 @@ func orDefault(v, d string) string {
 }
 
 // UpdateStreamPolicies replaces a stream's policies at runtime (§2.1).
+//
+// Deprecated: use Streams().UpdatePolicies, which takes a context.
 func (s *System) UpdateStreamPolicies(scope, stream string, scaling *ScalingPolicy, retention *RetentionPolicy) error {
-	var sp *controller.ScalingPolicy
-	if scaling != nil {
-		v := toInternalScaling(*scaling)
-		sp = &v
-	}
-	var rp *controller.RetentionPolicy
-	if retention != nil {
-		rp = &controller.RetentionPolicy{
-			Type:          controller.RetentionType(retention.Type),
-			LimitBytes:    retention.LimitBytes,
-			LimitDuration: retention.LimitDuration,
-		}
-	}
-	return convertErr(s.control.UpdateStreamPolicies(scope, stream, sp, rp))
+	return s.Streams().UpdatePolicies(context.Background(), scope, stream, scaling, retention)
 }
 
 // SealStream makes a stream read-only.
+//
+// Deprecated: use Streams().Seal, which takes a context.
 func (s *System) SealStream(scope, stream string) error {
-	return convertErr(s.control.SealStream(scope, stream))
+	return s.Streams().Seal(context.Background(), scope, stream)
 }
 
 // DeleteStream removes a sealed stream.
+//
+// Deprecated: use Streams().Delete, which takes a context.
 func (s *System) DeleteStream(scope, stream string) error {
-	return convertErr(s.control.DeleteStream(scope, stream))
+	return s.Streams().Delete(context.Background(), scope, stream)
 }
 
 // SegmentCount reports the stream's current parallelism.
+//
+// Deprecated: use Streams().SegmentCount, which takes a context.
 func (s *System) SegmentCount(scope, stream string) (int, error) {
-	n, err := s.control.SegmentCount(scope, stream)
-	return n, convertErr(err)
+	return s.Streams().SegmentCount(context.Background(), scope, stream)
 }
 
-// ScaleStream manually splits one active segment into factor successors
-// (auto-scaling does this from load; the manual form serves admin tooling).
+// ScaleStream manually splits one active segment into factor successors.
+//
+// Deprecated: use Streams().Scale, which takes a context.
 func (s *System) ScaleStream(scope, stream string, segmentNumber int64, factor int) error {
-	segs, err := s.control.GetActiveSegments(scope, stream)
-	if err != nil {
-		return convertErr(err)
-	}
-	for _, sr := range segs {
-		if sr.ID.Number == segmentNumber {
-			return convertErr(s.control.Scale(scope, stream, []int64{segmentNumber}, sr.KeyRange.Split(factor)))
-		}
-	}
-	return fmt.Errorf("pravega: segment %d is not active in %s/%s", segmentNumber, scope, stream)
+	return s.Streams().Scale(context.Background(), scope, stream, segmentNumber, factor)
 }
 
-// TruncateStreamAtTail truncates the whole stream history up to "now": it
-// records the current tail as a stream cut and truncates there.
+// TruncateStreamAtTail truncates the whole stream history up to "now".
+//
+// Deprecated: use Streams().Truncate, which takes a context.
 func (s *System) TruncateStreamAtTail(scope, stream string) error {
-	segs, err := s.control.GetActiveSegments(scope, stream)
-	if err != nil {
-		return convertErr(err)
-	}
-	d := s.newData()
-	defer d.Close()
-	cut := make(controller.StreamCut, len(segs))
-	for _, sr := range segs {
-		info, err := d.GetInfo(sr.ID.QualifiedName())
-		if err != nil {
-			return convertErr(err)
-		}
-		cut[sr.ID.Number] = info.Length
-	}
-	return convertErr(s.control.TruncateStream(scope, stream, cut))
+	return s.Streams().Truncate(context.Background(), scope, stream)
 }
 
 // routeTable is the writer's view of a stream's active segments.

@@ -2,6 +2,8 @@ package pravega
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -39,8 +41,20 @@ func (c *WriterConfig) defaults() {
 		c.MaxInFlight = 2
 	}
 	if c.ID == "" {
-		c.ID = fmt.Sprintf("writer-%d", time.Now().UnixNano())
+		c.ID = randomID("writer-")
 	}
+}
+
+// randomID returns prefix plus a 64-bit crypto/rand hex suffix. Writer ids
+// seed server-side exactly-once dedup state, so two writers must never
+// share one — a clock-derived suffix collides when writers are created
+// concurrently (or on coarse clocks), random suffixes cannot.
+func randomID(prefix string) string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("pravega: reading random id: %v", err))
+	}
+	return prefix + hex.EncodeToString(b[:])
 }
 
 // WriteFuture resolves when an event is durably acknowledged.
