@@ -324,10 +324,17 @@ func TestAdoptionAfterWALTruncation(t *testing.T) {
 		t.Fatal("expected b un-tiered before the checkpoint")
 	}
 	bSeq := d.LowestUnflushedAddr.LedgerSeq
-	// Snapshot predates b's flush; the checkpoint frame lands in a later
-	// ledger than b's entry thanks to the tiny rollover threshold.
+	// Two checkpoints: WAL truncation stops at the latest checkpoint's
+	// coverage watermark (the last frame applied when its snapshot was
+	// captured), so releasing b's ledger takes a checkpoint whose watermark
+	// lies above b's frame — the first checkpoint's own frame provides it.
+	// Both snapshots predate b's flush (FlushInterval is an hour), so
+	// recovery must still adopt b's bytes from the grown chunk.
 	if err := c.Checkpoint(); err != nil {
-		t.Fatalf("checkpoint: %v", err)
+		t.Fatalf("checkpoint 1: %v", err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint 2: %v", err)
 	}
 	if err := c.FlushAll(); err != nil {
 		t.Fatalf("flush b: %v", err)

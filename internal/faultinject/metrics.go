@@ -12,4 +12,8 @@ var (
 		"Faults injected into bookies (failed adds, dropped acks, fence errors)")
 	mCrashesInjected = obs.Default().Counter("pravega_fault_crashes_total",
 		"Scripted container crashes triggered at pipeline crash points")
+	mNetFaults = obs.Default().Counter("pravega_fault_net_total",
+		"Network faults injected by the nemesis proxy (kills, partitions, dup/split/coalesced frames, black holes, dropped replies)")
+	mNetConns = obs.Default().Gauge("pravega_fault_net_conns",
+		"Connections currently flowing through the nemesis proxy")
 )

@@ -1,0 +1,377 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/hosting"
+	"github.com/pravega-go/pravega/internal/segment"
+	"github.com/pravega-go/pravega/internal/segstore"
+	"github.com/pravega-go/pravega/internal/wire"
+	"github.com/pravega-go/pravega/pkg/pravega"
+)
+
+// nemesisRig is one proxied deployment: an in-process cluster fronted by a
+// wire server, the nemesis proxy in front of that, and a pravega System
+// connected through the proxy — so every client byte crosses the fault
+// pipeline.
+type nemesisRig struct {
+	backing *pravega.System
+	srv     *wire.Server
+	proxy   *NemesisProxy
+	sys     *pravega.System
+}
+
+func newNemesisRig(t *testing.T, ncfg NemesisConfig, ccfg pravega.ClientConfig) *nemesisRig {
+	t.Helper()
+	backing, err := pravega.NewInProcess(pravega.SystemConfig{
+		Cluster: hosting.ClusterConfig{Stores: 2, ContainersPerStore: 2},
+	})
+	if err != nil {
+		t.Fatalf("NewInProcess: %v", err)
+	}
+	srv, err := wire.NewServer(backing.Cluster(), backing.Controller(), "127.0.0.1:0")
+	if err != nil {
+		backing.Close()
+		t.Fatalf("wire.NewServer: %v", err)
+	}
+	proxy, err := NewNemesisProxy("127.0.0.1:0", srv.Addr(), ncfg)
+	if err != nil {
+		_ = srv.Close()
+		backing.Close()
+		t.Fatalf("NewNemesisProxy: %v", err)
+	}
+	// The initial dials cross the fault pipeline too (a black-holed or
+	// killed connection fails the whole Connect), so Connect retries.
+	var sys *pravega.System
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		sys, err = pravega.Connect(proxy.Addr(), ccfg)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = proxy.Close()
+			_ = srv.Close()
+			backing.Close()
+			t.Fatalf("Connect through nemesis: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rig := &nemesisRig{backing: backing, srv: srv, proxy: proxy, sys: sys}
+	t.Cleanup(func() {
+		rig.sys.Close()
+		_ = rig.proxy.Close()
+		_ = rig.srv.Close()
+		rig.backing.Close()
+	})
+	return rig
+}
+
+func mustStream(t *testing.T, sys *pravega.System, scope, stream string, segments int) {
+	t.Helper()
+	// "Already exists" is success here: a create whose ack the nemesis ate
+	// is retried by the transport after the first attempt applied.
+	if err := sys.CreateScope(scope); err != nil && !errors.Is(err, pravega.ErrScopeExists) {
+		t.Fatalf("CreateScope: %v", err)
+	}
+	err := sys.CreateStream(pravega.StreamConfig{Scope: scope, Name: stream, InitialSegments: segments})
+	if err != nil && !errors.Is(err, pravega.ErrStreamExists) {
+		t.Fatalf("CreateStream: %v", err)
+	}
+}
+
+// writeReadRoundTrip drives keyed event sequences through the proxied
+// system and checks the exactly-once oracle: every acked event is read
+// exactly once, in per-key order, with no gaps and nothing extra.
+func writeReadRoundTrip(t *testing.T, sys *pravega.System, scope string, keys, perKey int) {
+	t.Helper()
+	mustStream(t, sys, scope, "s", 2)
+	w, err := sys.NewWriter(pravega.WriterConfig{Scope: scope, Stream: "s"})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	var futs []*pravega.WriteFuture
+	for seq := 0; seq < perKey; seq++ {
+		for k := 0; k < keys; k++ {
+			futs = append(futs, w.WriteEvent(fmt.Sprintf("k%d", k), []byte(fmt.Sprintf("k%d:%04d", k, seq))))
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, f := range futs {
+		if err := f.WaitCtx(ctx); err != nil {
+			t.Fatalf("event %d not acked: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("writer close: %v", err)
+	}
+
+	rg, err := sys.NewReaderGroup("rg-"+scope, scope, "s")
+	if err != nil {
+		t.Fatalf("NewReaderGroup: %v", err)
+	}
+	r, err := rg.NewReader("r1")
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	defer r.Close()
+	total := keys * perKey
+	seen := make(map[string]bool, total)
+	lastSeq := make(map[string]int, keys)
+	deadline := time.Now().Add(60 * time.Second)
+	for len(seen) < total {
+		ev, err := r.ReadNextEvent(2 * time.Second)
+		if errors.Is(err, pravega.ErrNoEvent) {
+			if time.Now().After(deadline) {
+				t.Fatalf("read stalled with %d/%d events", len(seen), total)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ReadNextEvent after %d events: %v", len(seen), err)
+		}
+		s := string(ev.Data)
+		if seen[s] {
+			t.Fatalf("duplicate event %q", s)
+		}
+		seen[s] = true
+		key, seqStr, ok := strings.Cut(s, ":")
+		if !ok {
+			t.Fatalf("malformed event %q", s)
+		}
+		seq, _ := strconv.Atoi(seqStr)
+		last, present := lastSeq[key]
+		if !present {
+			last = -1
+		}
+		if seq != last+1 {
+			t.Fatalf("key %s: got seq %d after %d (order/loss violation)", key, seq, last)
+		}
+		lastSeq[key] = seq
+	}
+}
+
+func assertInjected(t *testing.T, p *NemesisProxy) {
+	t.Helper()
+	if n := p.Injected(); n == 0 {
+		t.Fatal("nemesis injected no faults; the rule under test never fired")
+	}
+}
+
+func TestNemesisSplitFrames(t *testing.T) {
+	rig := newNemesisRig(t, NemesisConfig{Seed: 11, SplitProb: 0.6}, pravega.ClientConfig{})
+	writeReadRoundTrip(t, rig.sys, "split", 4, 40)
+	assertInjected(t, rig.proxy)
+}
+
+func TestNemesisCoalesceFrames(t *testing.T) {
+	rig := newNemesisRig(t, NemesisConfig{Seed: 12, CoalesceProb: 0.5}, pravega.ClientConfig{})
+	writeReadRoundTrip(t, rig.sys, "coalesce", 4, 40)
+	assertInjected(t, rig.proxy)
+}
+
+func TestNemesisDuplicateFrames(t *testing.T) {
+	// Duplicated request frames exercise server-side writer dedup;
+	// duplicated reply frames exercise the client's request-id correlation.
+	rig := newNemesisRig(t, NemesisConfig{Seed: 13, DupProb: 0.5}, pravega.ClientConfig{})
+	writeReadRoundTrip(t, rig.sys, "dup", 4, 40)
+	assertInjected(t, rig.proxy)
+}
+
+func TestNemesisLatencyJitter(t *testing.T) {
+	rig := newNemesisRig(t, NemesisConfig{
+		Seed: 14, LatencyBase: 200 * time.Microsecond, LatencyJitter: time.Millisecond,
+	}, pravega.ClientConfig{})
+	writeReadRoundTrip(t, rig.sys, "latency", 4, 20)
+}
+
+func TestNemesisKillMidFrame(t *testing.T) {
+	// Connections die after a partial frame; the writer must replay parked
+	// batches through reconnects without losing or duplicating events.
+	rig := newNemesisRig(t, NemesisConfig{Seed: 15, KillMidFrameProb: 0.02}, pravega.ClientConfig{})
+	writeReadRoundTrip(t, rig.sys, "killmid", 4, 40)
+	assertInjected(t, rig.proxy)
+}
+
+func TestNemesisBlackHole(t *testing.T) {
+	// Kills force redials; a redialed connection may land in a black hole
+	// (accepted, swallowed, killed after the stall) before a clean one
+	// succeeds.
+	rig := newNemesisRig(t, NemesisConfig{
+		Seed: 16, KillMidFrameProb: 0.01, BlackHoleProb: 0.3, BlackHoleFor: 30 * time.Millisecond,
+	}, pravega.ClientConfig{})
+	writeReadRoundTrip(t, rig.sys, "blackhole", 4, 30)
+	assertInjected(t, rig.proxy)
+}
+
+func TestNemesisPartition(t *testing.T) {
+	rig := newNemesisRig(t, NemesisConfig{Seed: 17}, pravega.ClientConfig{})
+	sys := rig.sys
+	mustStream(t, sys, "part", "s", 2)
+	w, err := sys.NewWriter(pravega.WriterConfig{Scope: "part", Stream: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var futs []*pravega.WriteFuture
+	for i := 0; i < 40; i++ {
+		futs = append(futs, w.WriteEvent(fmt.Sprintf("k%d", i%4), []byte(fmt.Sprintf("k%d:%04d", i%4, i/4))))
+	}
+	rig.proxy.Partition(150 * time.Millisecond)
+	if !rig.proxy.Partitioned() {
+		t.Fatal("Partitioned() false right after Partition()")
+	}
+	// Writes issued INTO the partition park on the disconnect and must
+	// replay exactly once after it heals.
+	for i := 40; i < 80; i++ {
+		futs = append(futs, w.WriteEvent(fmt.Sprintf("k%d", i%4), []byte(fmt.Sprintf("k%d:%04d", i%4, i/4))))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, f := range futs {
+		if err := f.WaitCtx(ctx); err != nil {
+			t.Fatalf("event %d not acked across partition: %v", i, err)
+		}
+	}
+	if rig.proxy.Partitioned() {
+		t.Fatal("partition never healed")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rg, err := sys.NewReaderGroup("rg-part", "part", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := rg.NewReader("r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	seen := make(map[string]bool)
+	deadline := time.Now().Add(60 * time.Second)
+	for len(seen) < 80 {
+		ev, err := r.ReadNextEvent(2 * time.Second)
+		if errors.Is(err, pravega.ErrNoEvent) {
+			if time.Now().After(deadline) {
+				t.Fatalf("read stalled with %d/80 events", len(seen))
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := string(ev.Data)
+		if seen[s] {
+			t.Fatalf("duplicate event %q", s)
+		}
+		seen[s] = true
+	}
+	assertInjected(t, rig.proxy)
+}
+
+// TestMergeAppliedAckLost is the regression for the non-idempotent merge
+// retry: the merge applies on the server, the ack dies with the connection,
+// and the client's retry finds the source segment gone. The client must
+// resolve the ambiguity (via the source/target lengths) and report success
+// with the correct merge offset — not surface ErrSegmentNotFound for a
+// commit that happened.
+func TestMergeAppliedAckLost(t *testing.T) {
+	rig := newNemesisRig(t, NemesisConfig{Seed: 18}, pravega.ClientConfig{})
+	wc, err := wire.NewClient(rig.proxy.Addr(), wire.ClientConfig{})
+	if err != nil {
+		t.Fatalf("wire.NewClient: %v", err)
+	}
+	defer wc.Close()
+
+	const target = "mrg/parent"
+	shadow := segment.TxnSegmentName(target, "txn-lostack") // routes with its parent
+	if err := wc.CreateSegment(target); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.CreateSegment(shadow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.AppendConditional(target, []byte("0123456789"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.AppendConditional(shadow, []byte("abcde"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rig.backing.Cluster().SealSegment(shadow); err != nil {
+		t.Fatalf("seal shadow: %v", err)
+	}
+
+	rig.proxy.DropReplyOnce(wire.MsgMergeSegments)
+	off, err := wc.MergeSegment(target, shadow)
+	if err != nil {
+		t.Fatalf("MergeSegment with lost ack: %v", err)
+	}
+	if off != 10 {
+		t.Fatalf("merge offset %d, want 10", off)
+	}
+	info, err := wc.GetInfo(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Length != 15 {
+		t.Fatalf("target length %d after merge, want 15", info.Length)
+	}
+	if _, err := wc.GetInfo(shadow); !errors.Is(err, segstore.ErrSegmentNotFound) {
+		t.Fatalf("shadow GetInfo: %v, want ErrSegmentNotFound", err)
+	}
+	assertInjected(t, rig.proxy)
+}
+
+// TestLongPollReapedOnConnDrop verifies end to end that a tail read blocked
+// in a server-side long poll is cancelled — and its segment-store waiter
+// deregistered — when the connection carrying it drops, not only on an
+// explicit MsgCancelRead.
+func TestLongPollReapedOnConnDrop(t *testing.T) {
+	rig := newNemesisRig(t, NemesisConfig{Seed: 19}, pravega.ClientConfig{})
+	wc, err := wire.NewClient(rig.proxy.Addr(), wire.ClientConfig{SyncRetryWindow: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	const name = "reap/seg"
+	if err := wc.CreateSegment(name); err != nil {
+		t.Fatal(err)
+	}
+	cont, err := rig.backing.Cluster().ContainerFor(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = wc.Read(name, 0, 1024, 30*time.Second)
+	}()
+	waitFor := func(want int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for cont.TailWaiters(name) != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: %d tail waiters, want %d", what, cont.TailWaiters(name), want)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	waitFor(1, "long-poll in flight")
+	// Let the client's SyncRetryWindow lapse so the kill below cannot be
+	// answered by a retried read (which would legitimately register a fresh
+	// waiter and mask the leak check).
+	time.Sleep(1200 * time.Millisecond)
+	rig.proxy.KillAll()
+	// The server must observe the drop, cancel the read, and deregister the
+	// waiter long before the 30s wait expires.
+	waitFor(0, "after connection drop")
+	<-done
+}

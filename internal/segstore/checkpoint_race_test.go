@@ -1,0 +1,76 @@
+package segstore
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCheckpointSnapshotRaceKeepsConcurrentOpsInWAL pins the WAL-truncation
+// bound for operations that race a metadata checkpoint: an op submitted
+// after the checkpoint's snapshot is captured but before the checkpoint
+// frame is enqueued lands in the WAL BELOW the checkpoint frame while being
+// absent from its snapshot. Truncating the WAL up to the checkpoint frame
+// (the old bound) frees the op's ledger; the next recovery then restores
+// the stale snapshot and the acknowledged op evaporates — the
+// fault-injection harness caught this as a truncate regressing startOffset
+// across a crash. Truncation must stop at the snapshot's coverage
+// watermark instead.
+func TestCheckpointSnapshotRaceKeepsConcurrentOpsInWAL(t *testing.T) {
+	env := newTestEnv(t)
+	cfg := env.containerConfig(11)
+	cfg.WALRolloverBytes = 1 // every frame in its own ledger
+	cfg.CheckpointInterval = time.Hour
+
+	const (
+		seg = "s/cpr/1.#epoch.0"
+		at  = int64(512)
+	)
+	var (
+		c        *Container
+		hookOnce sync.Once
+		truncErr error
+	)
+	cfg.Hooks = &Hooks{AfterCheckpointSnapshot: func() {
+		// Runs on the Checkpoint caller's goroutine, between snapshot
+		// capture and checkpoint submission: exactly the race window.
+		hookOnce.Do(func() { truncErr = c.Truncate(seg, at) })
+	}}
+	c, err := NewContainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateSegment(seg); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := c.Append(seg, bytes.Repeat([]byte("x"), 256), "w", int64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if truncErr != nil {
+		t.Fatalf("truncate during checkpoint window: %v", truncErr)
+	}
+	c.flushOnce(true) // WAL truncation round
+	c.Crash()
+
+	c2, err := NewContainer(cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer c2.Close()
+	info, err := c2.GetInfo(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.StartOffset != at {
+		t.Fatalf("acknowledged truncate lost across crash: recovered startOffset %d, want %d", info.StartOffset, at)
+	}
+}

@@ -116,6 +116,12 @@ type Container struct {
 	applyMu         sync.Mutex
 	applyQ          []*frameResult
 	applyKick       chan struct{}
+	// lastApplied is the WAL address of the most recent frame the applier
+	// has fully installed (guarded by c.mu). Checkpoint captures it as its
+	// snapshot's coverage watermark: every frame at or below it is
+	// reflected in the snapshot; frames above it may not be.
+	lastApplied    wal.Address
+	hasLastApplied bool
 
 	// Adaptive batching statistics (EWMA).
 	statMu        sync.Mutex
@@ -125,12 +131,21 @@ type Container struct {
 	// Storage-writer bookkeeping. flushRunMu serializes tiering rounds:
 	// the background ticker, size-based kicks and FlushAll callers must not
 	// interleave within one segment's flush (see activeChunk).
-	flushRunMu       sync.Mutex
-	flushMu          sync.Mutex
-	flushCond        *sync.Cond
-	unflushedBytes   int64
-	lastCheckpoint   wal.Address
-	hasCheckpoint    bool
+	flushRunMu     sync.Mutex
+	flushMu        sync.Mutex
+	flushCond      *sync.Cond
+	unflushedBytes int64
+	lastCheckpoint wal.Address
+	hasCheckpoint  bool
+	// cpCover bounds WAL truncation for lastCheckpoint: the coverage
+	// watermark its snapshot was captured at. Frames between cpCover and
+	// the checkpoint frame can hold operations applied after the snapshot —
+	// a truncate, seal or writer-attribute update the snapshot predates —
+	// so truncation must keep them or an acknowledged operation evaporates
+	// on the next recovery. Unset after recovery (the restored snapshot's
+	// watermark is unknown) until the next live checkpoint lands.
+	cpCover          wal.Address
+	cpCoverOK        bool
 	flushKick        chan struct{}
 	lastFlushErr     error
 	lastTruncateErr  error

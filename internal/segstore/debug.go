@@ -77,6 +77,18 @@ func (c *Container) DebugState() map[string]SegmentDebug {
 	return out
 }
 
+// TailWaiters reports how many tail-read long-polls are currently
+// registered on the segment (tests: waiter-leak regression checks).
+func (c *Container) TailWaiters(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.segments[name]
+	if !ok {
+		return 0
+	}
+	return len(s.waiters)
+}
+
 // Quiesce runs fn with the tiering engine paused between rounds: no flush,
 // reconciliation or WAL truncation executes while fn does. The invariant
 // checker uses it to observe chunk metadata, the un-tiered queue and the

@@ -489,12 +489,19 @@ func (c *Container) maybeTruncateWAL() {
 
 	c.flushMu.Lock()
 	hasCP := c.hasCheckpoint
-	cp := c.lastCheckpoint
+	cover := c.cpCover
+	coverOK := c.cpCoverOK
 	c.flushMu.Unlock()
-	if !hasCP {
+	// Truncate only up to the checkpoint's coverage watermark, never up to
+	// the checkpoint frame itself: frames between the two can carry
+	// acknowledged operations (truncates, seals, writer attributes) applied
+	// after the snapshot was captured — they exist nowhere but the WAL. A
+	// recovered checkpoint has no watermark (coverOK false), so nothing is
+	// released until the next live checkpoint re-establishes one.
+	if !hasCP || !coverOK {
 		return
 	}
-	upTo := cp
+	upTo := cover
 	if lowest != nil && lowest.Less(upTo) {
 		upTo = *lowest
 	}
@@ -601,12 +608,21 @@ func (c *Container) Checkpoint() error {
 			Chunks:        chunks,
 		}
 	}
+	// The coverage watermark travels with the snapshot: operations already
+	// in the WAL but applied after this instant land at addresses BELOW the
+	// checkpoint frame yet are missing from the snapshot, so WAL truncation
+	// must stop at the watermark, not at the checkpoint frame
+	// (maybeTruncateWAL).
+	cover, coverOK := c.lastApplied, c.hasLastApplied
 	c.mu.Unlock()
+	if h := c.cfg.Hooks; h != nil && h.AfterCheckpointSnapshot != nil {
+		h.AfterCheckpointSnapshot()
+	}
 	data, err := json.Marshal(cp)
 	if err != nil {
 		return err
 	}
-	_, err = c.submit(Operation{Type: OpCheckpoint, Checkpoint: data})
+	_, err = c.submit(Operation{Type: OpCheckpoint, Checkpoint: data, cpCover: cover, cpCoverOK: coverOK})
 	return err
 }
 

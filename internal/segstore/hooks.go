@@ -34,6 +34,15 @@ type Hooks struct {
 	// submitted to the WAL.
 	BeforeCheckpoint func() bool
 
+	// AfterCheckpointSnapshot fires in Checkpoint after the metadata
+	// snapshot (and its coverage watermark) has been captured, before the
+	// checkpoint operation is submitted to the pipeline. Unlike the crash
+	// hooks it runs on the Checkpoint caller's goroutine with no container
+	// lock held, so it MAY submit operations — that is its purpose: it pins
+	// the window where an op lands in the WAL ahead of the checkpoint frame
+	// but is missing from its snapshot.
+	AfterCheckpointSnapshot func()
+
 	// AfterWALTruncate fires after WAL ledgers are released. A crash here
 	// verifies truncation never outruns tiering: everything recovery needs
 	// must still be in the retained tail.

@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"github.com/pravega-go/pravega/internal/wal"
 )
 
 // OpType enumerates WAL operation kinds.
@@ -57,6 +59,13 @@ type Operation struct {
 
 	// Checkpoint payload (serialized container metadata).
 	Checkpoint []byte
+	// cpCover carries an OpCheckpoint snapshot's coverage watermark (the
+	// WAL address of the last frame applied before the snapshot was taken)
+	// from Checkpoint to the applier. Like CondOffset it is never
+	// serialized: it only bounds runtime WAL truncation, and a recovered
+	// checkpoint deliberately has no coverage until the next live one.
+	cpCover   wal.Address
+	cpCoverOK bool
 
 	// Source is the merged-from segment of an OpMergeSegment (its bytes are
 	// carried in Data; Offset is the target offset they land at).

@@ -696,9 +696,15 @@ applyLoop:
 			c.flushMu.Lock()
 			c.lastCheckpoint = f.addr
 			c.hasCheckpoint = true
+			c.cpCover = op.cpCover
+			c.cpCoverOK = op.cpCoverOK
 			c.flushMu.Unlock()
 			c.checkpointsTaken.Add(1)
 		}
+	}
+	if !crashMid {
+		c.lastApplied = f.addr
+		c.hasLastApplied = true
 	}
 	c.mu.Unlock()
 

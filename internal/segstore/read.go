@@ -63,23 +63,29 @@ func (c *Container) ReadCtx(ctx context.Context, name string, offset int64, maxB
 				c.mu.Unlock()
 				return ReadResult{Offset: offset, EndOfSegment: true}, nil
 			}
+			remain := time.Until(deadline)
+			if remain <= 0 {
+				// Zero/expired wait: answer before registering, or the
+				// abandoned waiter channel would sit on an idle segment
+				// until its next append.
+				c.mu.Unlock()
+				return ReadResult{Offset: offset}, nil
+			}
 			// Tail read: register a waiter and long-poll (§4.2).
 			w := make(chan struct{})
 			s.waiters = append(s.waiters, w)
 			c.mu.Unlock()
-			remain := time.Until(deadline)
-			if remain <= 0 {
-				return ReadResult{Offset: offset}, nil
-			}
 			timer := time.NewTimer(remain)
 			select {
 			case <-w:
 				timer.Stop()
 				continue
 			case <-timer.C:
+				c.forgetWaiter(name, w)
 				return ReadResult{Offset: offset}, nil
 			case <-ctx.Done():
 				timer.Stop()
+				c.forgetWaiter(name, w)
 				return ReadResult{}, ctx.Err()
 			case <-c.stop:
 				timer.Stop()
@@ -90,6 +96,26 @@ func (c *Container) ReadCtx(ctx context.Context, name string, offset int64, maxB
 		// under the short critical section it inherits; LTS and readahead
 		// I/O always run unlocked.
 		return c.readAvailable(s, offset, maxBytes)
+	}
+}
+
+// forgetWaiter deregisters a tail waiter whose long-poll exited without
+// being woken (timeout or cancellation). Skipping this leaks the channel
+// into the segment's waiter list until its next append — unbounded growth
+// on idle segments under churning readers. A waiter already swept by an
+// append/seal/remove broadcast is simply not found.
+func (c *Container) forgetWaiter(name string, w chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.segments[name]
+	if !ok {
+		return
+	}
+	for i, x := range s.waiters {
+		if x == w {
+			s.waiters = append(s.waiters[:i], s.waiters[i+1:]...)
+			return
+		}
 	}
 }
 

@@ -1,0 +1,84 @@
+package segstore
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// Tail-waiter lifecycle regressions: a long-poll that exits without being
+// woken (timeout, cancellation) and a zero-wait tail read must leave no
+// waiter registered. Before the fix, every such read leaked its channel
+// into the segment's waiter list until the next append — unbounded growth
+// on idle segments under churning readers.
+
+func newWaiterSegment(t *testing.T) (*Container, string, int64) {
+	t.Helper()
+	env := newTestEnv(t)
+	c := newTestContainer(t, env, 0)
+	const name = "waiters/s/0"
+	if err := c.CreateSegment(name); err != nil {
+		t.Fatalf("CreateSegment: %v", err)
+	}
+	off, err := c.Append(name, []byte("abc"), "", 0, 1)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return c, name, off + 3 // the segment's tail: append offset + payload
+
+}
+
+func TestTailWaiterReapedOnTimeout(t *testing.T) {
+	c, name, tail := newWaiterSegment(t)
+	res, err := c.Read(name, tail, 64, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(res.Data) != 0 {
+		t.Fatalf("tail read returned %d bytes, want 0", len(res.Data))
+	}
+	if n := c.TailWaiters(name); n != 0 {
+		t.Fatalf("%d tail waiters left after timed-out long-poll, want 0", n)
+	}
+}
+
+func TestTailWaiterReapedOnCancel(t *testing.T) {
+	c, name, tail := newWaiterSegment(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ReadCtx(ctx, name, tail, 64, 30*time.Second)
+		done <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.TailWaiters(name) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("long-poll never registered a tail waiter")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled read returned %v, want context.Canceled", err)
+	}
+	if n := c.TailWaiters(name); n != 0 {
+		t.Fatalf("%d tail waiters left after cancelled long-poll, want 0", n)
+	}
+}
+
+func TestTailWaiterNotRegisteredOnZeroWait(t *testing.T) {
+	c, name, tail := newWaiterSegment(t)
+	for i := 0; i < 10; i++ {
+		res, err := c.Read(name, tail, 64, 0)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if len(res.Data) != 0 {
+			t.Fatalf("tail read returned %d bytes, want 0", len(res.Data))
+		}
+	}
+	if n := c.TailWaiters(name); n != 0 {
+		t.Fatalf("%d tail waiters registered by zero-wait tail reads, want 0", n)
+	}
+}

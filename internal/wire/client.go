@@ -73,6 +73,19 @@ type Client struct {
 
 	ctrl   *storeConn
 	stores []*storeConn
+
+	// dial overrides the transport dialer (fault-injection tests count and
+	// script dials through it); nil means Dial.
+	dial func(addr string) (*Conn, error)
+}
+
+// dialServer opens one connection to the server through the configured
+// dialer.
+func (c *Client) dialServer() (*Conn, error) {
+	if c.dial != nil {
+		return c.dial(c.addr)
+	}
+	return Dial(c.addr)
 }
 
 var (
@@ -143,11 +156,18 @@ type storeConn struct {
 	conn   *Conn // nil while disconnected
 	redial bool  // reconnect loop running
 	closed bool
+	// ready broadcasts state changes to acquire waiters: it is an open
+	// channel while disconnected (replaced on every fault) and closed the
+	// moment the connection is live again or the storeConn closes, so
+	// waiters wake immediately instead of polling.
+	ready chan struct{}
 }
 
 func newStoreConn(c *Client, conn *Conn) *storeConn {
 	mcConnections.Add(1)
-	return &storeConn{c: c, conn: conn}
+	ready := make(chan struct{})
+	close(ready) // born connected
+	return &storeConn{c: c, conn: conn, ready: ready}
 }
 
 func (sc *storeConn) close() {
@@ -159,6 +179,12 @@ func (sc *storeConn) close() {
 	sc.closed = true
 	conn := sc.conn
 	sc.conn = nil
+	if conn == nil {
+		// Disconnected: ready is open and waiters are parked on it; wake
+		// them so they observe the close. (While connected, ready is
+		// already closed.)
+		close(sc.ready)
+	}
 	sc.mu.Unlock()
 	if conn != nil {
 		mcConnections.Add(-1)
@@ -186,6 +212,7 @@ func (sc *storeConn) fault(conn *Conn) {
 		return
 	}
 	sc.conn = nil
+	sc.ready = make(chan struct{}) // re-open: waiters park here until reconnect
 	start := !sc.redial && !sc.closed
 	if start {
 		sc.redial = true
@@ -202,6 +229,11 @@ func (sc *storeConn) fault(conn *Conn) {
 // or the client closes.
 func (sc *storeConn) reconnectLoop() {
 	backoff := sc.c.cfg.MinBackoff
+	if backoff <= 0 {
+		// A zero MinBackoff must not turn the dial loop into a busy spin
+		// against a dead endpoint (0*2 is still 0).
+		backoff = time.Millisecond
+	}
 	for {
 		sc.mu.Lock()
 		if sc.closed {
@@ -210,7 +242,7 @@ func (sc *storeConn) reconnectLoop() {
 			return
 		}
 		sc.mu.Unlock()
-		conn, err := Dial(sc.c.addr)
+		conn, err := sc.c.dialServer()
 		if err == nil {
 			sc.mu.Lock()
 			sc.redial = false
@@ -220,6 +252,7 @@ func (sc *storeConn) reconnectLoop() {
 				return
 			}
 			sc.conn = conn
+			close(sc.ready) // wake every acquire waiter at once
 			sc.mu.Unlock()
 			mcConnections.Add(1)
 			mcReconnects.Inc()
@@ -234,11 +267,17 @@ func (sc *storeConn) reconnectLoop() {
 }
 
 // acquire waits for a live connection until the deadline (and ctx, when
-// non-nil) allows.
+// non-nil) allows. Waiters park on the ready broadcast channel, so a
+// reconnect (or close) wakes them immediately rather than after a poll
+// interval.
 func (sc *storeConn) acquire(ctx context.Context, deadline time.Time) (*Conn, error) {
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
 	for {
 		sc.mu.Lock()
-		conn, closed := sc.conn, sc.closed
+		conn, closed, ready := sc.conn, sc.closed, sc.ready
 		sc.mu.Unlock()
 		if closed {
 			return nil, fmt.Errorf("wire: client closed: %w", client.ErrDisconnected)
@@ -246,15 +285,20 @@ func (sc *storeConn) acquire(ctx context.Context, deadline time.Time) (*Conn, er
 		if conn != nil {
 			return conn, nil
 		}
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		if !time.Now().Before(deadline) {
+		wait := time.Until(deadline)
+		if wait <= 0 {
 			return nil, fmt.Errorf("wire: %s unreachable: %w", sc.c.addr, client.ErrDisconnected)
 		}
-		time.Sleep(sc.c.cfg.MinBackoff)
+		timer := time.NewTimer(wait)
+		select {
+		case <-ready:
+			timer.Stop()
+		case <-ctxDone:
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+			return nil, fmt.Errorf("wire: %s unreachable: %w", sc.c.addr, client.ErrDisconnected)
+		}
 	}
 }
 
@@ -281,10 +325,12 @@ func disconnected(err error) error {
 
 // call performs one synchronous request, retrying across connection loss
 // within the sync retry window. Safe for every synchronous operation the
-// transport exposes: reads and metadata are idempotent, and conditional
-// appends are guarded by their expected offset (a lost ack resurfaces as
-// ErrConditionalFailed, which the state synchronizer resolves by
-// refetching, §3.3).
+// transport routes through it: reads and metadata are idempotent, and
+// conditional appends are guarded by their expected offset (a lost ack
+// resurfaces as ErrConditionalFailed, which the state synchronizer
+// resolves by refetching, §3.3). The one non-idempotent sync op —
+// MergeSegment — runs its own loop that resolves ambiguous outcomes
+// instead of blindly retrying.
 func (sc *storeConn) call(t MessageType, body any) (Reply, error) {
 	deadline := time.Now().Add(sc.c.cfg.SyncRetryWindow)
 	for {
@@ -440,12 +486,61 @@ func (c *Client) CreateSegment(name string) error {
 // (transaction commit, §3.2). Routed by the target's name; transaction
 // shadow segments hash identically to their parent, so the pair lands on
 // one store.
+//
+// Merge is not idempotent: if the connection drops after the server
+// applied it but before the ack arrived, a blind retry finds the source
+// gone and reports ErrSegmentNotFound for a commit that succeeded. So it
+// does not go through call's generic retry. It snapshots the source's
+// length up front and runs its own loop: only after at least one
+// disconnected attempt (outcome unknown) does a missing source mean
+// "already merged", and then the merge offset is reconstructed from the
+// target's length.
 func (c *Client) MergeSegment(target, source string) (int64, error) {
-	rep, err := c.storeFor(target).call(MsgMergeSegments, MergeReq{Target: target, Source: source})
-	if err != nil {
-		return 0, err
+	sc := c.storeFor(target)
+	deadline := time.Now().Add(c.cfg.SyncRetryWindow)
+	srcLen := int64(-1)
+	if info, err := c.GetInfo(source); err == nil {
+		srcLen = info.Length
 	}
-	return rep.Offset, nil
+	req := MergeReq{Target: target, Source: source}
+	ambiguous := false
+	for {
+		conn, err := sc.acquire(nil, deadline)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := conn.Call(MsgMergeSegments, &req)
+		if err != nil && isDisconnect(err) {
+			// The merge may have been applied before the connection died;
+			// every attempt from here on has an ambiguous predecessor.
+			ambiguous = true
+			sc.fault(conn)
+			if time.Now().Before(deadline) {
+				continue
+			}
+			return 0, disconnected(err)
+		}
+		if err != nil {
+			if ambiguous && errors.Is(err, segstore.ErrSegmentNotFound) {
+				// Lost-ack resolution: the source vanished after an attempt
+				// whose outcome we never saw, so an earlier try committed the
+				// merge. Recover the offset the ack would have carried from
+				// the target's length (exact while commits to this target are
+				// serialized, which the controller guarantees per stream
+				// segment).
+				info, ierr := c.GetInfo(target)
+				if ierr != nil {
+					return 0, ierr
+				}
+				if srcLen >= 0 && info.Length >= srcLen {
+					return info.Length - srcLen, nil
+				}
+				return info.Length, nil
+			}
+			return 0, err
+		}
+		return rep.Offset, nil
+	}
 }
 
 // --- client.ControlTransport ---

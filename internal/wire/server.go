@@ -169,47 +169,80 @@ func (rw *replyWriter) loop() {
 }
 
 // inflightReads tracks one connection's cancellable long-poll reads by
-// request id, so MsgCancelRead can unblock them.
+// request id, so MsgCancelRead can unblock them and a dropped connection
+// can cancel all of them. Each id maps to a LIST of handles: a duplicated
+// request frame (network-level duplication is a fault the transport must
+// tolerate) registers the same id twice, and a single-entry map would
+// silently drop the first cancel — leaving that read blocked for its full
+// wait after the connection is gone.
+type readHandle struct {
+	cancel context.CancelFunc
+}
+
 type inflightReads struct {
 	mu sync.Mutex
-	m  map[uint64]context.CancelFunc
+	m  map[uint64][]*readHandle
 }
 
-func (ir *inflightReads) add(id uint64, cancel context.CancelFunc) {
+func (ir *inflightReads) add(id uint64, cancel context.CancelFunc) *readHandle {
+	h := &readHandle{cancel: cancel}
 	ir.mu.Lock()
 	if ir.m == nil {
-		ir.m = make(map[uint64]context.CancelFunc)
+		ir.m = make(map[uint64][]*readHandle)
 	}
-	ir.m[id] = cancel
+	ir.m[id] = append(ir.m[id], h)
 	ir.mu.Unlock()
+	return h
 }
 
-func (ir *inflightReads) remove(id uint64) {
+func (ir *inflightReads) remove(id uint64, h *readHandle) {
 	ir.mu.Lock()
-	delete(ir.m, id)
+	hs := ir.m[id]
+	for i, x := range hs {
+		if x == h {
+			hs = append(hs[:i], hs[i+1:]...)
+			break
+		}
+	}
+	if len(hs) == 0 {
+		delete(ir.m, id)
+	} else {
+		ir.m[id] = hs
+	}
 	ir.mu.Unlock()
 }
 
 func (ir *inflightReads) cancel(id uint64) {
 	ir.mu.Lock()
-	cancel := ir.m[id]
+	hs := append([]*readHandle(nil), ir.m[id]...)
 	ir.mu.Unlock()
-	if cancel != nil {
-		cancel()
+	for _, h := range hs {
+		h.cancel()
 	}
 }
 
 func (ir *inflightReads) cancelAll() {
 	ir.mu.Lock()
-	cancels := make([]context.CancelFunc, 0, len(ir.m))
-	for _, c := range ir.m {
-		cancels = append(cancels, c)
+	var hs []*readHandle
+	for _, l := range ir.m {
+		hs = append(hs, l...)
 	}
 	ir.m = nil
 	ir.mu.Unlock()
-	for _, c := range cancels {
-		c()
+	for _, h := range hs {
+		h.cancel()
 	}
+}
+
+// pending reports how many long-poll handles are registered (tests).
+func (ir *inflightReads) pending() int {
+	ir.mu.Lock()
+	defer ir.mu.Unlock()
+	n := 0
+	for _, l := range ir.m {
+		n += len(l)
+	}
+	return n
 }
 
 func (s *Server) serve(conn net.Conn) {
@@ -301,11 +334,11 @@ func (s *Server) serve(conn net.Conn) {
 			// Long-poll reads get their own goroutine and a cancel handle
 			// for MsgCancelRead.
 			ctx, cancel := context.WithCancel(context.Background())
-			reads.add(id, cancel)
+			h := reads.add(id, cancel)
 			reqWG.Add(1)
 			go func(id uint64, req ReadReq) {
 				defer reqWG.Done()
-				defer reads.remove(id)
+				defer reads.remove(id, h)
 				defer cancel()
 				rw.send(id, s.handleRead(ctx, req), true)
 			}(id, req)

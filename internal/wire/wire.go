@@ -127,6 +127,39 @@ func readMessage(r io.Reader) (MessageType, uint64, []byte, error) {
 	return readMessageInto(r, &scratch)
 }
 
+// Raw-frame helpers: they move whole framed messages (header + body)
+// without decoding the body. Network fault-injection proxies
+// (internal/faultinject's NemesisProxy) use them to forward, duplicate,
+// split, or truncate traffic at frame granularity.
+
+// RawFrameHeaderSize is the fixed header length of every framed message.
+const RawFrameHeaderSize = headerSize
+
+// ReadRawFrame reads one complete framed message from r and returns it
+// (header included) as a fresh byte slice.
+func ReadRawFrame(r io.Reader) ([]byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n > maxBody {
+		return nil, fmt.Errorf("wire: oversized body (%d bytes)", n)
+	}
+	frame := make([]byte, headerSize+int(n))
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(r, frame[headerSize:]); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}
+
+// RawFrameType returns a raw frame's message type.
+func RawFrameType(frame []byte) MessageType { return MessageType(frame[4]) }
+
+// RawFrameReqID returns a raw frame's request id.
+func RawFrameReqID(frame []byte) uint64 { return binary.BigEndian.Uint64(frame[5:13]) }
+
 // Request bodies.
 
 // AppendReq is a segment append.
@@ -329,11 +362,22 @@ func (c *Conn) failAll(err error) {
 		delete(c.pending, id)
 	}
 	c.pendMu.Unlock()
-	// Deliver outside pendMu: callback completions may issue new calls,
-	// which take pendMu.
-	for _, p := range pend {
-		p.deliver(Reply{Err: err.Error(), Code: codeDisconnected})
+	if len(pend) == 0 {
+		return
 	}
+	// Deliver outside pendMu (callback completions may issue new calls,
+	// which take pendMu) AND off the caller's goroutine: failAll runs on
+	// whichever goroutine observed the failure, which may be an AppendAsync
+	// caller already holding the very lock a drained callback takes — e.g.
+	// the event writer faulting a connection from sendBatch under its
+	// segment lock, where synchronous delivery self-deadlocks. One
+	// goroutine drains the whole batch so the failures stay ordered with
+	// respect to each other.
+	go func() {
+		for _, p := range pend {
+			p.deliver(Reply{Err: err.Error(), Code: codeDisconnected})
+		}
+	}()
 }
 
 // Err returns the terminal connection error, or nil while healthy.

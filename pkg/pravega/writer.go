@@ -404,14 +404,26 @@ func (sw *segmentWriter) onBatchResult(events []pendingEvent, payload int64, r s
 		sw.mu.Lock()
 		sw.inflight--
 		sw.trySendLocked()
+		// Acks resolve out of order: this success may be the last in-flight
+		// ack AFTER an earlier batch already parked itself for replay.
+		// Recovery only ever starts at inflight==0, so the last ack — no
+		// matter its own outcome — must hand off to it, or the parked
+		// batches (and their futures) hang forever.
+		startRecover := sw.inflight == 0 && !sw.recovering && len(sw.retry) > 0
+		if startRecover {
+			sw.recovering = true
+		}
 		// A sealed rejection completes at validation time and can overtake
 		// an earlier batch's success ack (which waits for the WAL write).
 		// If this success is the last in-flight ack of a sealed segment,
-		// seal resolution falls to us.
-		resolved := sw.sealed && sw.inflight == 0 && !sw.recovering
+		// seal resolution falls to us. Recovery takes precedence: recover()
+		// re-checks sealed once the parked batches are resolved.
+		resolved := !startRecover && sw.sealed && sw.inflight == 0 && !sw.recovering
 		sw.flushCond.Broadcast()
 		sw.mu.Unlock()
-		if resolved {
+		if startRecover {
+			go sw.recover()
+		} else if resolved {
 			sw.resolveSeal()
 		}
 	case errors.Is(r.Err, segstore.ErrSegmentSealed):
@@ -419,9 +431,15 @@ func (sw *segmentWriter) onBatchResult(events []pendingEvent, payload int64, r s
 		sw.sealed = true
 		sw.redirect = append(sw.redirect, events...)
 		sw.inflight--
-		resolved := sw.inflight == 0 && !sw.recovering
+		startRecover := sw.inflight == 0 && !sw.recovering && len(sw.retry) > 0
+		if startRecover {
+			sw.recovering = true
+		}
+		resolved := !startRecover && sw.inflight == 0 && !sw.recovering
 		sw.mu.Unlock()
-		if resolved {
+		if startRecover {
+			go sw.recover()
+		} else if resolved {
 			sw.resolveSeal()
 		}
 	case errors.Is(r.Err, client.ErrDisconnected):
@@ -448,10 +466,16 @@ func (sw *segmentWriter) onBatchResult(events []pendingEvent, payload int64, r s
 		}
 		sw.mu.Lock()
 		sw.inflight--
-		resolved := sw.sealed && sw.inflight == 0 && !sw.recovering
+		startRecover := sw.inflight == 0 && !sw.recovering && len(sw.retry) > 0
+		if startRecover {
+			sw.recovering = true
+		}
+		resolved := !startRecover && sw.sealed && sw.inflight == 0 && !sw.recovering
 		sw.flushCond.Broadcast()
 		sw.mu.Unlock()
-		if resolved {
+		if startRecover {
+			go sw.recover()
+		} else if resolved {
 			sw.resolveSeal()
 		}
 	}

@@ -1,0 +1,177 @@
+package pravega
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/client"
+	"github.com/pravega-go/pravega/internal/segstore"
+)
+
+// ackFaultTransport decorates a DataTransport with an adversarial ack
+// channel: completion callbacks are delayed by a random jitter and a
+// fraction of SUCCESSFUL acks are converted into ErrDisconnected — the
+// append was applied but the writer never learns it (a lost ack). Per-
+// segment callback FIFO, the ordering contract segmentWriters rest on, is
+// preserved by draining each segment's callbacks through one worker
+// goroutine.
+type ackFaultTransport struct {
+	client.DataTransport
+	mu      sync.Mutex
+	rng     *rand.Rand
+	workers map[string]chan func()
+	wg      sync.WaitGroup
+	dropped atomic.Int64
+}
+
+func newAckFaultTransport(base client.DataTransport, seed int64) *ackFaultTransport {
+	return &ackFaultTransport{
+		DataTransport: base,
+		rng:           rand.New(rand.NewSource(seed)),
+		workers:       make(map[string]chan func()),
+	}
+}
+
+func (ft *ackFaultTransport) AppendAsync(name string, data []byte, writerID string, eventNum int64, eventCount int32, cb func(segstore.AppendResult)) {
+	ft.DataTransport.AppendAsync(name, data, writerID, eventNum, eventCount, func(r segstore.AppendResult) {
+		ft.mu.Lock()
+		ch, ok := ft.workers[name]
+		if !ok {
+			ch = make(chan func(), 1024)
+			ft.workers[name] = ch
+			ft.wg.Add(1)
+			go func() {
+				defer ft.wg.Done()
+				for f := range ch {
+					f()
+				}
+			}()
+		}
+		delay := time.Duration(ft.rng.Intn(2000)) * time.Microsecond
+		drop := r.Err == nil && ft.rng.Float64() < 0.25
+		ft.mu.Unlock()
+		ch <- func() {
+			time.Sleep(delay)
+			if drop {
+				ft.dropped.Add(1)
+				cb(segstore.AppendResult{Offset: -1, Err: client.ErrDisconnected})
+				return
+			}
+			cb(r)
+		}
+	})
+}
+
+// stop drains the per-segment workers. Call only after every in-flight
+// append has completed (writer closed).
+func (ft *ackFaultTransport) stop() {
+	ft.mu.Lock()
+	for _, ch := range ft.workers {
+		close(ch)
+	}
+	ft.workers = make(map[string]chan func())
+	ft.mu.Unlock()
+	ft.wg.Wait()
+}
+
+// TestWriterExactlyOnceUnderAckFaults is the writer's exactly-once
+// conformance check under duplicated-effect acks: every lost ack forces the
+// writer through its disconnect recovery (WriterState handshake + verbatim
+// batch replay), and the server-side dedup must absorb the replays. The
+// read-back asserts no loss, no duplicates, and contiguous per-key order.
+// With PRAVEGA_TEST_TRANSPORT=tcp the same test runs over the wire
+// transport, so both DataTransport implementations are covered.
+func TestWriterExactlyOnceUnderAckFaults(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			sys := newTestSystem(t)
+			scope := fmt.Sprintf("ackfault%d", seed)
+			if err := sys.CreateScope(scope); err != nil {
+				t.Fatalf("CreateScope: %v", err)
+			}
+			if err := sys.CreateStream(StreamConfig{Scope: scope, Name: "s", InitialSegments: 2}); err != nil {
+				t.Fatalf("CreateStream: %v", err)
+			}
+			w, err := sys.NewWriter(WriterConfig{Scope: scope, Stream: "s"})
+			if err != nil {
+				t.Fatalf("NewWriter: %v", err)
+			}
+			ft := newAckFaultTransport(w.conn, seed)
+			w.conn = ft
+
+			const keys, perKey = 4, 50
+			var futs []*WriteFuture
+			for seq := 0; seq < perKey; seq++ {
+				for k := 0; k < keys; k++ {
+					futs = append(futs, w.WriteEvent(
+						fmt.Sprintf("k%d", k),
+						[]byte(fmt.Sprintf("k%d:%04d", k, seq))))
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			for i, f := range futs {
+				if err := f.WaitCtx(ctx); err != nil {
+					t.Fatalf("event %d not acked: %v", i, err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatalf("writer close: %v", err)
+			}
+			ft.stop()
+			if ft.dropped.Load() == 0 {
+				t.Fatal("fault transport dropped no acks; test exercised nothing")
+			}
+
+			rg, err := sys.NewReaderGroup("rg-"+scope, scope, "s")
+			if err != nil {
+				t.Fatalf("NewReaderGroup: %v", err)
+			}
+			r, err := rg.NewReader("r1")
+			if err != nil {
+				t.Fatalf("NewReader: %v", err)
+			}
+			defer r.Close()
+			total := keys * perKey
+			seen := make(map[string]bool, total)
+			lastSeq := make(map[string]int, keys)
+			deadline := time.Now().Add(60 * time.Second)
+			for len(seen) < total {
+				ev, err := r.ReadNextEvent(2 * time.Second)
+				if errors.Is(err, ErrNoEvent) {
+					if time.Now().After(deadline) {
+						t.Fatalf("read stalled with %d/%d events", len(seen), total)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("ReadNextEvent: %v", err)
+				}
+				s := string(ev.Data)
+				if seen[s] {
+					t.Fatalf("duplicate event %q (replay not deduplicated)", s)
+				}
+				seen[s] = true
+				key, seqStr, _ := strings.Cut(s, ":")
+				seq, _ := strconv.Atoi(seqStr)
+				last, present := lastSeq[key]
+				if !present {
+					last = -1
+				}
+				if seq != last+1 {
+					t.Fatalf("key %s: seq %d after %d (order/loss violation)", key, seq, last)
+				}
+				lastSeq[key] = seq
+			}
+			t.Logf("seed %d: %d acks dropped, %d events exactly-once", seed, ft.dropped.Load(), total)
+		})
+	}
+}
