@@ -33,6 +33,7 @@ func main() {
 		policyMS   = flag.Int("policy-interval-ms", 2000, "auto-scaling/retention evaluation period")
 		metrics    = flag.String("metrics", "", "address for the observability HTTP endpoint (/metrics, /debug/vars, /debug/pprof/, /debug/traces); empty = disabled")
 		traceEvery = flag.Int("trace-sample", 0, "sample one append span per N appends into /debug/traces (0 = off)")
+		drainTO    = flag.Duration("drain-timeout", 10*time.Second, "bound on the graceful drain (flush WALs, tier to LTS) after SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -70,8 +71,40 @@ func main() {
 		fmt.Printf("pravega-server: metrics on http://%s/metrics\n", addr)
 	}
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("pravega-server: shutting down")
+	fmt.Printf("pravega-server: draining (up to %v; signal again to exit immediately)\n", *drainTO)
+
+	// A second signal means the operator wants out now, drain or no drain.
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "pravega-server: second signal, exiting immediately")
+		os.Exit(1)
+	}()
+
+	// Stop accepting wire traffic, then drain what the stores already hold:
+	// flush every open WAL segment and let the tiering engine finish moving
+	// flushed data to LTS, bounded by -drain-timeout.
+	if err := srv.Close(); err != nil {
+		log.Printf("pravega-server: closing listener: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		if err := sys.Cluster().FlushAll(); err != nil {
+			done <- err
+			return
+		}
+		done <- sys.Cluster().WaitForTiering(*drainTO)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Printf("pravega-server: drain incomplete: %v", err)
+		} else {
+			fmt.Println("pravega-server: drained, shutting down")
+		}
+	case <-time.After(*drainTO):
+		log.Printf("pravega-server: drain timed out after %v, shutting down", *drainTO)
+	}
 }

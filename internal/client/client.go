@@ -28,6 +28,14 @@ import (
 // handshake).
 var ErrDisconnected = errors.New("client: disconnected")
 
+// ErrWrongHost reports that the store an operation was routed to does not
+// currently own the target container — it moved (failover, rebalance) or is
+// momentarily unowned mid-handoff. Unlike ErrDisconnected this says nothing
+// about connection health: the fix is to refresh placement and re-route,
+// not to reconnect. The operation never started, so retrying any operation
+// on it is safe.
+var ErrWrongHost = errors.New("client: wrong host for container")
+
 // DataTransport is the client's path to segment stores: appends, reads and
 // segment metadata. Implementations route each segment to its owning
 // container (in process or over one pooled connection per store) and

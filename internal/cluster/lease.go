@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"time"
+)
+
+// Lease-based sessions (§4.4): a session created with NewSessionTTL must be
+// renewed within its TTL or the store expires it exactly as if it had been
+// closed — its ephemeral nodes vanish and their watches fire. This is the
+// failure detector behind container failover: a segment store heartbeats
+// its session, and a wedged or killed store stops renewing, so its
+// container claims disappear and survivors re-acquire them.
+//
+// Expiry is evaluated lazily: every store operation sweeps overdue sessions
+// before it runs. The store therefore needs no background goroutine (and no
+// Close method), and expiry is deterministic with respect to observation —
+// a claim is never seen both present and expired by the same reader.
+
+// NewSessionTTL opens a session that expires unless Renew is called at
+// least every ttl. A ttl <= 0 degenerates to a plain non-expiring session.
+func (s *Store) NewSessionTTL(ttl time.Duration) *Session {
+	sess := s.NewSession()
+	if ttl <= 0 {
+		return sess
+	}
+	s.mu.Lock()
+	sess.ttl = ttl
+	sess.deadline = time.Now().Add(ttl)
+	s.ttlSessions++
+	s.mu.Unlock()
+	return sess
+}
+
+// Renew extends the session's lease by its TTL. It returns ErrSessionClosed
+// when the session has already expired (or was closed): the caller has lost
+// every ephemeral node it held and must treat itself as fenced.
+func (se *Session) Renew() error {
+	s := se.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepExpiredLocked(time.Now())
+	if !se.open {
+		return ErrSessionClosed
+	}
+	if se.ttl > 0 {
+		se.deadline = time.Now().Add(se.ttl)
+	}
+	return nil
+}
+
+// TTL returns the session's lease duration (0 for non-expiring sessions).
+func (se *Session) TTL() time.Duration {
+	se.store.mu.Lock()
+	defer se.store.mu.Unlock()
+	return se.ttl
+}
+
+// sweepExpiredLocked closes every TTL session whose deadline has passed.
+// Callers hold s.mu.
+func (s *Store) sweepExpiredLocked(now time.Time) {
+	if s.ttlSessions == 0 {
+		return
+	}
+	var expired []*Session
+	for _, sess := range s.sessions {
+		if sess.ttl > 0 && now.After(sess.deadline) {
+			expired = append(expired, sess)
+		}
+	}
+	for _, sess := range expired {
+		s.closeSessionLocked(sess)
+	}
+}

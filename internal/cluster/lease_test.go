@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLeaseExpiryDropsEphemerals(t *testing.T) {
+	s := NewStore()
+	if err := s.Create("/claims", nil); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.NewSessionTTL(30 * time.Millisecond)
+	if err := sess.CreateEphemeral("/claims/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Exists("/claims/a") {
+		t.Fatal("claim should exist while lease is live")
+	}
+	if err := sess.Renew(); err != nil {
+		t.Fatalf("renew on live session: %v", err)
+	}
+	time.Sleep(60 * time.Millisecond)
+	// Any store operation sweeps expired sessions.
+	if s.Exists("/claims/a") {
+		t.Fatal("claim should have expired with the lease")
+	}
+	if err := sess.Renew(); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("renew after expiry: got %v, want ErrSessionClosed", err)
+	}
+	if err := sess.CreateEphemeral("/claims/b", nil); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("create after expiry: got %v, want ErrSessionClosed", err)
+	}
+}
+
+func TestLeaseRenewKeepsSessionAlive(t *testing.T) {
+	s := NewStore()
+	if err := s.Create("/claims", nil); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.NewSessionTTL(40 * time.Millisecond)
+	if err := sess.CreateEphemeral("/claims/a", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		time.Sleep(15 * time.Millisecond)
+		if err := sess.Renew(); err != nil {
+			t.Fatalf("renew %d: %v", i, err)
+		}
+	}
+	if !s.Exists("/claims/a") {
+		t.Fatal("claim should survive while renewed")
+	}
+}
+
+func TestLeaseExpiryFiresWatches(t *testing.T) {
+	s := NewStore()
+	if err := s.Create("/claims", nil); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.NewSessionTTL(20 * time.Millisecond)
+	if err := sess.CreateEphemeral("/claims/a", nil); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := s.WatchData("/claims/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	s.Exists("/") // trigger sweep
+	select {
+	case ev := <-ch:
+		if ev.Type != EventDeleted {
+			t.Fatalf("watch event: got %v, want EventDeleted", ev.Type)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watch did not fire on lease expiry")
+	}
+}
+
+func TestZeroTTLNeverExpires(t *testing.T) {
+	s := NewStore()
+	if err := s.Create("/claims", nil); err != nil {
+		t.Fatal(err)
+	}
+	sess := s.NewSessionTTL(0)
+	if sess.TTL() != 0 {
+		t.Fatalf("TTL: got %v, want 0", sess.TTL())
+	}
+	if err := sess.CreateEphemeral("/claims/a", nil); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if !s.Exists("/claims/a") {
+		t.Fatal("zero-TTL session must not expire")
+	}
+	sess.Close()
+	if s.Exists("/claims/a") {
+		t.Fatal("close should still drop ephemerals")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Errors returned by Store operations.
@@ -67,6 +68,9 @@ type Store struct {
 	root     *node
 	sessions map[int64]*Session
 	nextSess int64
+	// ttlSessions counts open lease sessions (see lease.go); zero lets the
+	// per-operation expiry sweep short-circuit.
+	ttlSessions int
 }
 
 // NewStore creates an empty coordination store with a root node "/".
@@ -84,12 +88,17 @@ type Session struct {
 	id    int64
 	open  bool
 	paths map[string]struct{}
+	// Lease fields (lease.go): a session with ttl > 0 expires — exactly as
+	// if Close had been called — unless Renew moves the deadline forward.
+	ttl      time.Duration
+	deadline time.Time
 }
 
 // NewSession opens a session.
 func (s *Store) NewSession() *Session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked(time.Now())
 	s.nextSess++
 	sess := &Session{store: s, id: s.nextSess, open: true, paths: make(map[string]struct{})}
 	s.sessions[sess.id] = sess
@@ -105,10 +114,17 @@ func (se *Session) Close() {
 	s := se.store
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closeSessionLocked(se)
+}
+
+func (s *Store) closeSessionLocked(se *Session) {
 	if !se.open {
 		return
 	}
 	se.open = false
+	if se.ttl > 0 {
+		s.ttlSessions--
+	}
 	delete(s.sessions, se.id)
 	paths := make([]string, 0, len(se.paths))
 	for p := range se.paths {
@@ -194,6 +210,10 @@ func (se *Session) CreateEphemeral(path string, data []byte) error {
 func (s *Store) create(path string, data []byte, sess *Session) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked(time.Now())
+	if sess != nil && !sess.open {
+		return ErrSessionClosed
+	}
 	parent, leaf, err := s.lookupParent(path)
 	if err != nil {
 		return err
@@ -234,6 +254,7 @@ func (s *Store) CreateAll(path string, data []byte) error {
 func (s *Store) Get(path string) ([]byte, Stat, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked(time.Now())
 	n, err := s.lookup(path)
 	if err != nil {
 		return nil, Stat{}, err
@@ -247,6 +268,7 @@ func (s *Store) Get(path string) ([]byte, Stat, error) {
 func (s *Store) Set(path string, data []byte, version int64) (Stat, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked(time.Now())
 	n, err := s.lookup(path)
 	if err != nil {
 		return Stat{}, err
@@ -264,6 +286,7 @@ func (s *Store) Set(path string, data []byte, version int64) (Stat, error) {
 func (s *Store) Delete(path string, version int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked(time.Now())
 	return s.deleteLocked(path, version)
 }
 
@@ -297,6 +320,7 @@ func (s *Store) deleteLocked(path string, version int64) error {
 func (s *Store) Children(path string) ([]string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked(time.Now())
 	n, err := s.lookup(path)
 	if err != nil {
 		return nil, err
@@ -314,6 +338,7 @@ func (s *Store) Children(path string) ([]string, error) {
 func (s *Store) WatchData(path string) (<-chan Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked(time.Now())
 	n, err := s.lookup(path)
 	if err != nil {
 		return nil, err
@@ -328,6 +353,7 @@ func (s *Store) WatchData(path string) (<-chan Event, error) {
 func (s *Store) WatchChildren(path string) (<-chan Event, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked(time.Now())
 	n, err := s.lookup(path)
 	if err != nil {
 		return nil, err
@@ -341,6 +367,7 @@ func (s *Store) WatchChildren(path string) (<-chan Event, error) {
 func (s *Store) Exists(path string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepExpiredLocked(time.Now())
 	_, err := s.lookup(path)
 	return err == nil
 }

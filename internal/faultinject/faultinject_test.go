@@ -24,6 +24,7 @@ func newManualCluster(t *testing.T, store lts.ChunkStorage, hooks *segstore.Hook
 		Stores:             1,
 		ContainersPerStore: 1,
 		Bookies:            3,
+		Ownership:          hosting.OwnershipConfig{Manual: true},
 		LTS:                store,
 		Container: segstore.ContainerConfig{
 			FlushSizeBytes:     1 << 30,
@@ -280,6 +281,7 @@ func TestAdoptionAfterWALTruncation(t *testing.T) {
 		Stores:             1,
 		ContainersPerStore: 1,
 		Bookies:            3,
+		Ownership:          hosting.OwnershipConfig{Manual: true},
 		LTS:                mem,
 		Container: segstore.ContainerConfig{
 			FlushSizeBytes:     1 << 30,

@@ -122,6 +122,7 @@ func NewHarness(t *testing.T, cfg HarnessConfig) *Harness {
 		Stores:             1,
 		ContainersPerStore: 1,
 		Bookies:            3,
+		Ownership:          hosting.OwnershipConfig{Manual: true},
 		LTS:                h.flts,
 		Container: segstore.ContainerConfig{
 			FlushSizeBytes:     2048,

@@ -29,9 +29,15 @@ type nemesisRig struct {
 
 func newNemesisRig(t *testing.T, ncfg NemesisConfig, ccfg pravega.ClientConfig) *nemesisRig {
 	t.Helper()
-	backing, err := pravega.NewInProcess(pravega.SystemConfig{
-		Cluster: hosting.ClusterConfig{Stores: 2, ContainersPerStore: 2},
-	})
+	return newNemesisRigCluster(t, ncfg, ccfg, hosting.ClusterConfig{Stores: 2, ContainersPerStore: 2})
+}
+
+// newNemesisRigCluster is newNemesisRig with the backing cluster's shape
+// under the caller's control (store-kill runs want more stores and fast
+// ownership timings).
+func newNemesisRigCluster(t *testing.T, ncfg NemesisConfig, ccfg pravega.ClientConfig, clcfg hosting.ClusterConfig) *nemesisRig {
+	t.Helper()
+	backing, err := pravega.NewInProcess(pravega.SystemConfig{Cluster: clcfg})
 	if err != nil {
 		t.Fatalf("NewInProcess: %v", err)
 	}

@@ -1,0 +1,78 @@
+package hosting
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkFailover measures crash-to-reconverged latency: one store is
+// crashed and the timer runs until every orphaned container has been fenced,
+// replayed and re-acquired by a survivor. Between iterations a replacement
+// store is added (untimed) so the cluster never shrinks. The reported
+// µs/failover is the signal scripts/bench_json.sh tracks as
+// BENCH_failover.json.
+func BenchmarkFailover(b *testing.B) {
+	cl, err := NewCluster(ClusterConfig{
+		Stores:             3,
+		ContainersPerStore: 4,
+		Ownership: OwnershipConfig{
+			LeaseTTL:          2 * time.Second,
+			RebalanceInterval: 5 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Real WAL state per container, so recovery includes fence-and-replay
+	// work rather than just claim churn.
+	for id := 0; id < cl.TotalContainers(); id++ {
+		seg := segForContainer(id, cl.TotalContainers())
+		if err := cl.CreateSegment(seg); err != nil {
+			b.Fatal(err)
+		}
+		st, err := cl.StoreFor(seg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			if _, err := st.Append(seg, []byte("failover-bench-payload"), "w", int64(i+1), 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	var totalRecovery time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := -1
+		for si, st := range cl.Stores() {
+			if !st.Closed() {
+				victim = si
+				break
+			}
+		}
+		if victim < 0 {
+			b.Fatal("no live store to crash")
+		}
+		start := time.Now()
+		if err := cl.CrashStore(victim); err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.AwaitConverged(30 * time.Second); err != nil {
+			b.Fatalf("iteration %d: %v", i, err)
+		}
+		totalRecovery += time.Since(start)
+
+		b.StopTimer()
+		if _, err := cl.AddStore(); err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.AwaitConverged(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(totalRecovery.Microseconds())/float64(b.N), "µs/failover")
+}

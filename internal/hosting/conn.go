@@ -73,12 +73,15 @@ func (c *Conn) oneWay() {
 func (c *Conn) AppendAsync(segment string, data []byte, writerID string, eventNum int64, eventCount int32, cb func(segstore.AppendResult)) {
 	st, err := c.cl.StoreFor(segment)
 	if err != nil {
-		cb(segstore.AppendResult{Err: err})
+		// The transport contract delivers callbacks on a transport-internal
+		// goroutine; failing synchronously would re-enter the caller (the
+		// writer invokes AppendAsync with its own lock held).
+		go cb(segstore.AppendResult{Err: err})
 		return
 	}
 	cont, err := st.Container(segment)
 	if err != nil {
-		cb(segstore.AppendResult{Err: err})
+		go cb(segstore.AppendResult{Err: err})
 		return
 	}
 	req, resp := c.links(st.ID())
@@ -94,14 +97,22 @@ func (c *Conn) AppendAsync(segment string, data []byte, writerID string, eventNu
 }
 
 // AppendConditional performs a conditional append (state synchronizer).
+// Placement misses retry against fresh routing; a conditional append is
+// guarded by its expected offset, so a retry that raced an applied attempt
+// surfaces as ErrConditionalFailed, which the synchronizer resolves by
+// refetching.
 func (c *Conn) AppendConditional(segment string, data []byte, expectedOffset int64) (int64, error) {
-	cont, err := c.cl.ContainerFor(segment)
-	if err != nil {
-		return 0, err
-	}
-	c.oneWay()
-	off, err := cont.AppendConditional(segment, data, expectedOffset)
-	c.oneWay()
+	var off int64
+	err := c.cl.retryOp(false, func() error {
+		cont, err := c.cl.ContainerFor(segment)
+		if err != nil {
+			return err
+		}
+		c.oneWay()
+		off, err = cont.AppendConditional(segment, data, expectedOffset)
+		c.oneWay()
+		return err
+	})
 	return off, err
 }
 
@@ -113,25 +124,36 @@ func (c *Conn) Read(segment string, offset int64, maxBytes int, wait time.Durati
 // ReadCtx is Read with cancellation plumbed through to the server-side
 // long-poll: a tail read unblocks as soon as ctx is done.
 func (c *Conn) ReadCtx(ctx context.Context, segment string, offset int64, maxBytes int, wait time.Duration) (segstore.ReadResult, error) {
-	cont, err := c.cl.ContainerFor(segment)
-	if err != nil {
-		return segstore.ReadResult{}, err
-	}
-	c.oneWay()
-	res, err := cont.ReadCtx(ctx, segment, offset, maxBytes, wait)
-	c.oneWay()
+	var res segstore.ReadResult
+	err := c.cl.retryOp(true, func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cont, err := c.cl.ContainerFor(segment)
+		if err != nil {
+			return err
+		}
+		c.oneWay()
+		res, err = cont.ReadCtx(ctx, segment, offset, maxBytes, wait)
+		c.oneWay()
+		return err
+	})
 	return res, err
 }
 
 // GetInfo fetches segment metadata.
 func (c *Conn) GetInfo(name string) (segment.Info, error) {
-	cont, err := c.cl.ContainerFor(name)
-	if err != nil {
-		return segment.Info{}, err
-	}
-	c.oneWay()
-	info, err := cont.GetInfo(name)
-	c.oneWay()
+	var info segment.Info
+	err := c.cl.retryOp(true, func() error {
+		cont, err := c.cl.ContainerFor(name)
+		if err != nil {
+			return err
+		}
+		c.oneWay()
+		info, err = cont.GetInfo(name)
+		c.oneWay()
+		return err
+	})
 	return info, err
 }
 
@@ -159,12 +181,16 @@ func (c *Conn) Close() error { return nil }
 // WriterState fetches the writer's last recorded event number (§3.2
 // reconnection handshake).
 func (c *Conn) WriterState(segment, writerID string) (int64, error) {
-	cont, err := c.cl.ContainerFor(segment)
-	if err != nil {
-		return -1, err
-	}
-	c.oneWay()
-	n, err := cont.WriterState(segment, writerID)
-	c.oneWay()
+	n := int64(-1)
+	err := c.cl.retryOp(true, func() error {
+		cont, err := c.cl.ContainerFor(segment)
+		if err != nil {
+			return err
+		}
+		c.oneWay()
+		n, err = cont.WriterState(segment, writerID)
+		c.oneWay()
+		return err
+	})
 	return n, err
 }

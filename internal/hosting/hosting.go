@@ -5,14 +5,24 @@
 // same components can instead be deployed over TCP via cmd/pravega-server
 // and internal/wire; hosting is the harness used by tests, examples and the
 // benchmark figures.
+//
+// Container placement is dynamic (§2.2, §4.4): each store's ownership
+// manager claims containers with lease-backed ephemeral nodes, and the
+// cluster routes through a cached placement table stamped with the
+// placement epoch. Crashing a store orphans its claims; survivors fence
+// the WALs and re-acquire. Tests that need to pin a container to a store
+// (fault-injection crash schedules) set Ownership.Manual.
 package hosting
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pravega-go/pravega/internal/bookkeeper"
+	"github.com/pravega-go/pravega/internal/client"
 	"github.com/pravega-go/pravega/internal/cluster"
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/keyspace"
@@ -20,7 +30,41 @@ import (
 	"github.com/pravega-go/pravega/internal/segment"
 	"github.com/pravega-go/pravega/internal/segstore"
 	"github.com/pravega-go/pravega/internal/sim"
+	"github.com/pravega-go/pravega/internal/wal"
 )
+
+// OwnershipConfig tunes dynamic container placement for the cluster.
+type OwnershipConfig struct {
+	// Manual disables the ownership managers: containers are claimed
+	// round-robin at startup and move only via CrashContainer /
+	// RestartContainer. Fault-injection crash schedules rely on this — a
+	// crashed container must stay down until the test restarts it.
+	Manual bool
+	// LeaseTTL is each store's claim-lease duration (default 3s). A store
+	// that stops renewing loses every claim at once.
+	LeaseTTL time.Duration
+	// RebalanceInterval is the ownership managers' tick (default 50ms).
+	RebalanceInterval time.Duration
+	// ResolveWait bounds how long routing helpers wait for a container to
+	// have an owner before giving up (default 5s; failover takes up to a
+	// lease TTL plus a rebalance tick to resolve).
+	ResolveWait time.Duration
+}
+
+func (o *OwnershipConfig) defaults() {
+	if o.Manual {
+		return
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 3 * time.Second
+	}
+	if o.RebalanceInterval <= 0 {
+		o.RebalanceInterval = 50 * time.Millisecond
+	}
+	if o.ResolveWait <= 0 {
+		o.ResolveWait = 5 * time.Second
+	}
+}
 
 // ClusterConfig sizes an in-process cluster. The defaults mirror Table 1 of
 // the paper: 3 segment stores co-located with 3 bookies, replication 3/3/2.
@@ -34,6 +78,8 @@ type ClusterConfig struct {
 	Bookies int
 	// Replication configures ledger quorums (default 3/3/2).
 	Replication bookkeeper.ReplicationConfig
+	// Ownership tunes dynamic container placement and failover.
+	Ownership OwnershipConfig
 	// Profile, when non-nil, enables the simulated performance substrate:
 	// bookie journals on modelled NVMe drives, shaped replica links, and a
 	// modelled LTS unless LTS is set explicitly.
@@ -70,6 +116,15 @@ func (c *ClusterConfig) defaults() {
 	if c.Replication.Ensemble == 0 {
 		c.Replication = bookkeeper.DefaultReplication()
 	}
+	c.Ownership.defaults()
+}
+
+// placementTable is an immutable snapshot of container→store routing, built
+// from the live claim set and stamped with the placement epoch it reflects.
+type placementTable struct {
+	epoch int64
+	byID  map[int]*segstore.Store
+	index map[int]int // container id -> store index (wire ClusterInfo)
 }
 
 // Cluster is a running in-process deployment.
@@ -81,10 +136,16 @@ type Cluster struct {
 
 	bookies []*bookkeeper.Bookie
 	disks   []*sim.Disk
-	stores  []*segstore.Store
-	// containerHome maps container id -> store index.
-	containerHome map[int]int
-	total         int
+	total   int
+
+	mu         sync.Mutex
+	stores     []*segstore.Store
+	storesByID map[string]*segstore.Store
+	mgrs       map[string]*segstore.OwnershipManager
+
+	placement atomic.Pointer[placementTable]
+	watchStop chan struct{}
+	closeOnce sync.Once
 }
 
 // NewCluster builds and starts the deployment.
@@ -101,11 +162,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	cl := &Cluster{
-		cfg:           cfg,
-		Meta:          meta,
-		BK:            bk,
-		containerHome: make(map[int]int),
-		total:         cfg.Stores * cfg.ContainersPerStore,
+		cfg:        cfg,
+		Meta:       meta,
+		BK:         bk,
+		storesByID: make(map[string]*segstore.Store),
+		mgrs:       make(map[string]*segstore.OwnershipManager),
+		total:      cfg.Stores * cfg.ContainersPerStore,
+		watchStop:  make(chan struct{}),
 	}
 
 	for i := 0; i < cfg.Bookies; i++ {
@@ -142,64 +205,266 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 
 	for si := 0; si < cfg.Stores; si++ {
-		ccfg := cfg.Container
-		ccfg.BK = bk
-		ccfg.Meta = meta
-		ccfg.Replication = cfg.Replication
-		ccfg.LTS = cl.LTS
-		st, err := segstore.NewStore(segstore.StoreConfig{
-			ID:              fmt.Sprintf("segmentstore-%d", si),
-			TotalContainers: cl.total,
-			Container:       ccfg,
-			Cluster:         meta,
-		})
-		if err != nil {
+		if _, err := cl.addStoreLocked(); err != nil {
 			cl.Close()
 			return nil, err
 		}
-		cl.stores = append(cl.stores, st)
-		for k := 0; k < cfg.ContainersPerStore; k++ {
-			id := si*cfg.ContainersPerStore + k
-			if _, err := st.StartContainer(id); err != nil {
-				cl.Close()
-				return nil, err
+	}
+
+	if cfg.Ownership.Manual {
+		// Static round-robin placement; claims recorded but never rebalanced.
+		for si, st := range cl.stores {
+			for k := 0; k < cfg.ContainersPerStore; k++ {
+				if _, err := st.StartContainer(si*cfg.ContainersPerStore + k); err != nil {
+					cl.Close()
+					return nil, err
+				}
 			}
-			cl.containerHome[id] = si
 		}
+	} else {
+		// All hosts are registered; a few synchronous rebalance rounds
+		// converge the claim set before anything serves traffic, then the
+		// managers take over in the background.
+		if err := cl.convergeLocked(); err != nil {
+			cl.Close()
+			return nil, err
+		}
+		for _, m := range cl.mgrs {
+			m.Run()
+		}
+		go cl.watchEpoch()
 	}
 	return cl, nil
+}
+
+// addStoreLocked creates one store (and, in dynamic mode, its ownership
+// manager) and appends it to the cluster. Callers hold no locks during
+// NewCluster; AddStore takes cl.mu.
+func (cl *Cluster) addStoreLocked() (*segstore.Store, error) {
+	ccfg := cl.cfg.Container
+	ccfg.BK = cl.BK
+	ccfg.Meta = cl.Meta
+	ccfg.Replication = cl.cfg.Replication
+	ccfg.LTS = cl.LTS
+	var ttl time.Duration
+	if !cl.cfg.Ownership.Manual {
+		ttl = cl.cfg.Ownership.LeaseTTL
+	}
+	id := fmt.Sprintf("segmentstore-%d", len(cl.stores))
+	for {
+		if _, taken := cl.storesByID[id]; !taken {
+			break
+		}
+		id += "r" // restarted replacement for a crashed id
+	}
+	st, err := segstore.NewStore(segstore.StoreConfig{
+		ID:              id,
+		TotalContainers: cl.total,
+		Container:       ccfg,
+		Cluster:         cl.Meta,
+		LeaseTTL:        ttl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cl.stores = append(cl.stores, st)
+	cl.storesByID[id] = st
+	if !cl.cfg.Ownership.Manual {
+		m, err := segstore.StartOwnershipManager(st, segstore.OwnershipConfig{
+			RebalanceInterval: cl.cfg.Ownership.RebalanceInterval,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl.mgrs[id] = m
+	}
+	return st, nil
+}
+
+// convergeLocked runs synchronous rebalance rounds until every container is
+// claimed (bounded; one round normally suffices since every store claims
+// its preferred set without contention).
+func (cl *Cluster) convergeLocked() error {
+	for round := 0; round < 20; round++ {
+		for _, m := range cl.mgrs {
+			if err := m.RebalanceOnce(); err != nil {
+				return err
+			}
+		}
+		claims, err := segstore.ClaimedContainers(cl.Meta)
+		if err != nil {
+			return err
+		}
+		if len(claims) == cl.total {
+			return nil
+		}
+	}
+	return errors.New("hosting: placement did not converge")
+}
+
+// AddStore adds a segment store to a running dynamic cluster; the
+// rebalancer sheds load onto it. Returns the new store.
+func (cl *Cluster) AddStore() (*segstore.Store, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	st, err := cl.addStoreLocked()
+	if err != nil {
+		return nil, err
+	}
+	if m, ok := cl.mgrs[st.ID()]; ok {
+		m.Run()
+	}
+	cl.invalidatePlacement()
+	return st, nil
+}
+
+// CrashStore abruptly kills one store: its containers stop without
+// flushing and its claims vanish with its session; survivors' managers
+// fence the WALs and re-acquire (§4.4).
+func (cl *Cluster) CrashStore(i int) error {
+	cl.mu.Lock()
+	if i < 0 || i >= len(cl.stores) {
+		cl.mu.Unlock()
+		return errors.New("hosting: bad store index")
+	}
+	st := cl.stores[i]
+	cl.mu.Unlock()
+	st.Crash()
+	cl.invalidatePlacement()
+	return nil
+}
+
+// WedgeStore stops a store's ownership manager without stopping the store:
+// the store keeps serving but stops renewing its lease, so its claims
+// expire and survivors take over while the zombie still answers — the
+// fencing stress case. Returns the wedged store.
+func (cl *Cluster) WedgeStore(i int) (*segstore.Store, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if i < 0 || i >= len(cl.stores) {
+		return nil, errors.New("hosting: bad store index")
+	}
+	st := cl.stores[i]
+	if m, ok := cl.mgrs[st.ID()]; ok {
+		m.Stop()
+	}
+	return st, nil
 }
 
 // TotalContainers returns the cluster-wide container count.
 func (cl *Cluster) TotalContainers() int { return cl.total }
 
-// Stores returns the segment store instances.
-func (cl *Cluster) Stores() []*segstore.Store { return cl.stores }
-
-// ContainerHomes returns a copy of the container-id → store-index routing
-// table (served to remote clients via the wire protocol's cluster-info
-// request, so they can pool one connection per store).
-func (cl *Cluster) ContainerHomes() map[int]int {
-	out := make(map[int]int, len(cl.containerHome))
-	for id, si := range cl.containerHome {
-		out[id] = si
-	}
+// Stores returns a snapshot of the segment store instances.
+func (cl *Cluster) Stores() []*segstore.Store {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]*segstore.Store, len(cl.stores))
+	copy(out, cl.stores)
 	return out
 }
 
 // Bookies returns the bookie instances (failure injection).
 func (cl *Cluster) Bookies() []*bookkeeper.Bookie { return cl.bookies }
 
+// PlacementEpoch returns the current cluster placement epoch.
+func (cl *Cluster) PlacementEpoch() int64 { return segstore.PlacementEpoch(cl.Meta) }
+
+// watchEpoch invalidates the placement cache whenever the epoch moves, so
+// routing picks up claim changes without waiting for a lookup miss.
+func (cl *Cluster) watchEpoch() {
+	for {
+		ch, err := segstore.WatchPlacementEpoch(cl.Meta)
+		if err != nil {
+			select {
+			case <-cl.watchStop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				continue
+			}
+		}
+		select {
+		case <-cl.watchStop:
+			return
+		case <-ch:
+			cl.invalidatePlacement()
+		}
+	}
+}
+
+func (cl *Cluster) invalidatePlacement() { cl.placement.Store(nil) }
+
+// loadPlacement returns the cached placement table, rebuilding it from the
+// live claim set when the cache was invalidated.
+func (cl *Cluster) loadPlacement() *placementTable {
+	if t := cl.placement.Load(); t != nil {
+		return t
+	}
+	return cl.rebuildPlacement()
+}
+
+func (cl *Cluster) rebuildPlacement() *placementTable {
+	epoch := segstore.PlacementEpoch(cl.Meta)
+	claims, err := segstore.ClaimedContainers(cl.Meta)
+	if err != nil {
+		claims = nil
+	}
+	cl.mu.Lock()
+	t := &placementTable{
+		epoch: epoch,
+		byID:  make(map[int]*segstore.Store, len(claims)),
+		index: make(map[int]int, len(claims)),
+	}
+	for id, owner := range claims {
+		st, ok := cl.storesByID[owner]
+		if !ok {
+			continue
+		}
+		t.byID[id] = st
+		for si, s := range cl.stores {
+			if s == st {
+				t.index[id] = si
+				break
+			}
+		}
+	}
+	cl.mu.Unlock()
+	cl.placement.Store(t)
+	return t
+}
+
+// ContainerHomes returns a copy of the container-id → store-index routing
+// table (served to remote clients via the wire protocol's cluster-info
+// request, so they can pool one connection per store).
+func (cl *Cluster) ContainerHomes() map[int]int {
+	t := cl.loadPlacement()
+	out := make(map[int]int, len(t.index))
+	for id, si := range t.index {
+		out[id] = si
+	}
+	return out
+}
+
+// StoreForContainer resolves a container id to its current owner. It is
+// fail-fast: a miss rebuilds the table once and then reports
+// client.ErrWrongHost (the caller refreshes and retries, or surfaces the
+// code to a remote client which does the same).
+func (cl *Cluster) StoreForContainer(id int) (*segstore.Store, error) {
+	t := cl.loadPlacement()
+	if st, ok := t.byID[id]; ok {
+		return st, nil
+	}
+	t = cl.rebuildPlacement()
+	if st, ok := t.byID[id]; ok {
+		return st, nil
+	}
+	return nil, fmt.Errorf("hosting: container %d has no owner (epoch %d): %w", id, t.epoch, client.ErrWrongHost)
+}
+
 // StoreFor routes a qualified segment name to its owning store. Transaction
 // segments route by their parent's name, keeping shadow and parent in the
 // same container.
 func (cl *Cluster) StoreFor(name string) (*segstore.Store, error) {
-	id := keyspace.HashToContainer(segment.RoutingName(name), cl.total)
-	si, ok := cl.containerHome[id]
-	if !ok {
-		return nil, fmt.Errorf("hosting: container %d has no home", id)
-	}
-	return cl.stores[si], nil
+	return cl.StoreForContainer(keyspace.HashToContainer(segment.RoutingName(name), cl.total))
 }
 
 // ContainerFor routes a qualified segment name to its owning container.
@@ -208,12 +473,60 @@ func (cl *Cluster) ContainerFor(name string) (*segstore.Container, error) {
 	if err != nil {
 		return nil, err
 	}
-	return st.Container(name)
+	c, err := st.Container(name)
+	if err != nil {
+		// The claim moved between resolution and the call; refresh so the
+		// next attempt routes correctly.
+		cl.invalidatePlacement()
+		return nil, err
+	}
+	return c, nil
+}
+
+// transientPlacement reports whether an error means "the container is (or
+// may be) served elsewhere right now" — safe to retry against a fresh
+// placement for any operation, because the operation never started.
+func transientPlacement(err error) bool {
+	return errors.Is(err, client.ErrWrongHost) || errors.Is(err, segstore.ErrWrongContainer)
+}
+
+// transientIdempotent additionally covers failure modes where the operation
+// may have partially started (container shut down mid-call, zombie WAL
+// fenced); only idempotent/read operations retry these.
+func transientIdempotent(err error) bool {
+	return transientPlacement(err) ||
+		errors.Is(err, segstore.ErrContainerDown) ||
+		errors.Is(err, wal.ErrFenced)
+}
+
+// retryOp runs op against the live placement, retrying transient placement
+// errors (and, when idempotent, container-down/fenced errors) until
+// Ownership.ResolveWait elapses. During a failover the claim is briefly
+// unowned; this wait rides it out.
+func (cl *Cluster) retryOp(idempotent bool, op func() error) error {
+	transient := transientPlacement
+	if idempotent {
+		transient = transientIdempotent
+	}
+	wait := cl.cfg.Ownership.ResolveWait
+	deadline := time.Now().Add(wait)
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || !transient(err) {
+			return err
+		}
+		if wait <= 0 || !time.Now().Before(deadline) {
+			return err
+		}
+		cl.invalidatePlacement()
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // Close shuts everything down.
 func (cl *Cluster) Close() {
-	for _, st := range cl.stores {
+	cl.closeOnce.Do(func() { close(cl.watchStop) })
+	for _, st := range cl.Stores() {
 		_ = st.Close()
 	}
 	for _, b := range cl.bookies {
@@ -228,38 +541,49 @@ var _ controller.DataPlane = (*Cluster)(nil)
 
 // CreateSegment implements controller.DataPlane.
 func (cl *Cluster) CreateSegment(name string) error {
-	st, err := cl.StoreFor(name)
-	if err != nil {
-		return err
-	}
-	return st.CreateSegment(name)
+	return cl.retryOp(false, func() error {
+		st, err := cl.StoreFor(name)
+		if err != nil {
+			return err
+		}
+		return st.CreateSegment(name)
+	})
 }
 
 // SealSegment implements controller.DataPlane.
 func (cl *Cluster) SealSegment(name string) (int64, error) {
-	st, err := cl.StoreFor(name)
-	if err != nil {
-		return 0, err
-	}
-	return st.Seal(name)
+	var n int64
+	err := cl.retryOp(false, func() error {
+		st, err := cl.StoreFor(name)
+		if err != nil {
+			return err
+		}
+		n, err = st.Seal(name)
+		return err
+	})
+	return n, err
 }
 
 // TruncateSegment implements controller.DataPlane.
 func (cl *Cluster) TruncateSegment(name string, offset int64) error {
-	st, err := cl.StoreFor(name)
-	if err != nil {
-		return err
-	}
-	return st.Truncate(name, offset)
+	return cl.retryOp(false, func() error {
+		st, err := cl.StoreFor(name)
+		if err != nil {
+			return err
+		}
+		return st.Truncate(name, offset)
+	})
 }
 
 // DeleteSegment implements controller.DataPlane.
 func (cl *Cluster) DeleteSegment(name string) error {
-	st, err := cl.StoreFor(name)
-	if err != nil {
-		return err
-	}
-	return st.DeleteSegment(name)
+	return cl.retryOp(false, func() error {
+		st, err := cl.StoreFor(name)
+		if err != nil {
+			return err
+		}
+		return st.DeleteSegment(name)
+	})
 }
 
 // MergeSegment implements controller.DataPlane: it atomically folds the
@@ -283,6 +607,16 @@ func (cl *Cluster) MergeSegment(target, source string) error {
 // idempotent, and only then is the source deleted. A dedup-short-circuited
 // retry reports offset -1.
 func (cl *Cluster) MergeSegmentAt(target, source string) (int64, error) {
+	var off int64
+	err := cl.retryOp(false, func() error {
+		var err error
+		off, err = cl.mergeSegmentAtOnce(target, source)
+		return err
+	})
+	return off, err
+}
+
+func (cl *Cluster) mergeSegmentAtOnce(target, source string) (int64, error) {
 	tst, err := cl.StoreFor(target)
 	if err != nil {
 		return 0, err
@@ -339,11 +673,16 @@ func (cl *Cluster) MergeSegmentAt(target, source string) (int64, error) {
 
 // SegmentInfo implements controller.DataPlane.
 func (cl *Cluster) SegmentInfo(name string) (segment.Info, error) {
-	st, err := cl.StoreFor(name)
-	if err != nil {
-		return segment.Info{}, err
-	}
-	return st.GetInfo(name)
+	var info segment.Info
+	err := cl.retryOp(true, func() error {
+		st, err := cl.StoreFor(name)
+		if err != nil {
+			return err
+		}
+		info, err = st.GetInfo(name)
+		return err
+	})
+	return info, err
 }
 
 // OwnerOf implements controller.DataPlane.
@@ -358,7 +697,10 @@ func (cl *Cluster) OwnerOf(name string) (string, error) {
 // LoadReports implements controller.DataPlane.
 func (cl *Cluster) LoadReports() []segstore.SegmentLoad {
 	var out []segstore.SegmentLoad
-	for _, st := range cl.stores {
+	for _, st := range cl.Stores() {
+		if st.Closed() {
+			continue
+		}
 		out = append(out, st.LoadReport()...)
 	}
 	return out
@@ -367,8 +709,12 @@ func (cl *Cluster) LoadReports() []segstore.SegmentLoad {
 // LoadByStore aggregates byte rates per store instance (Fig. 13's
 // per-segment-store workload view).
 func (cl *Cluster) LoadByStore() map[string]float64 {
-	out := make(map[string]float64, len(cl.stores))
-	for _, st := range cl.stores {
+	stores := cl.Stores()
+	out := make(map[string]float64, len(stores))
+	for _, st := range stores {
+		if st.Closed() {
+			continue
+		}
 		var sum float64
 		for _, l := range st.LoadReport() {
 			sum += l.BytesPerSec
@@ -380,30 +726,73 @@ func (cl *Cluster) LoadByStore() map[string]float64 {
 
 // CrashContainer abruptly stops one container wherever it is hosted (fault
 // injection): no flush, no checkpoint, claim released, WAL handle left open
-// for the next instance to fence. Restart it with RestartContainer.
+// for the next instance to fence. Restart it with RestartContainer. Only
+// meaningful under Ownership.Manual — a live rebalancer would immediately
+// re-acquire the container.
 func (cl *Cluster) CrashContainer(containerID int) error {
-	si, ok := cl.containerHome[containerID]
-	if !ok {
+	st, err := cl.StoreForContainer(containerID)
+	if err != nil {
 		return fmt.Errorf("hosting: container %d has no home", containerID)
 	}
-	if err := cl.stores[si].CrashContainer(containerID); err != nil {
+	if err := st.CrashContainer(containerID); err != nil {
 		return err
 	}
-	delete(cl.containerHome, containerID)
+	cl.invalidatePlacement()
 	return nil
 }
 
 // RestartContainer simulates recovery of a crashed container on a given
 // store (tests). The container must not be running anywhere.
 func (cl *Cluster) RestartContainer(storeIdx, containerID int) error {
+	cl.mu.Lock()
 	if storeIdx < 0 || storeIdx >= len(cl.stores) {
+		cl.mu.Unlock()
 		return errors.New("hosting: bad store index")
 	}
-	if _, err := cl.stores[storeIdx].StartContainer(containerID); err != nil {
+	st := cl.stores[storeIdx]
+	cl.mu.Unlock()
+	if _, err := st.StartContainer(containerID); err != nil {
 		return err
 	}
-	cl.containerHome[containerID] = storeIdx
+	cl.invalidatePlacement()
 	return nil
+}
+
+// AwaitConverged blocks until every container has an owner (and the
+// placement cache reflects it) or the timeout elapses.
+func (cl *Cluster) AwaitConverged(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		t := cl.rebuildPlacement()
+		if len(t.byID) == cl.total {
+			return nil
+		}
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("hosting: %d/%d containers owned after %v", len(t.byID), cl.total, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// FlushAll forces every live container's unflushed data to LTS (graceful
+// drain path for cmd/pravega-server).
+func (cl *Cluster) FlushAll() error {
+	var firstErr error
+	for _, st := range cl.Stores() {
+		if st.Closed() {
+			continue
+		}
+		for _, id := range st.HostedContainers() {
+			c, err := st.ContainerByID(id)
+			if err != nil {
+				continue
+			}
+			if err := c.FlushAll(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
 }
 
 // WaitForTiering blocks until every container has no un-tiered backlog or
@@ -415,7 +804,10 @@ func (cl *Cluster) WaitForTiering(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
 		pending := int64(0)
-		for _, st := range cl.stores {
+		for _, st := range cl.Stores() {
+			if st.Closed() {
+				continue
+			}
 			for _, id := range st.HostedContainers() {
 				c, err := st.ContainerByID(id)
 				if err != nil {
@@ -429,7 +821,10 @@ func (cl *Cluster) WaitForTiering(timeout time.Duration) error {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	for _, st := range cl.stores {
+	for _, st := range cl.Stores() {
+		if st.Closed() {
+			continue
+		}
 		for _, id := range st.HostedContainers() {
 			c, err := st.ContainerByID(id)
 			if err != nil {

@@ -1,0 +1,192 @@
+package segstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/cluster"
+)
+
+// ownershipStore builds a Store (no containers yet) against the shared test
+// env, with an optional lease TTL.
+func ownershipStore(t *testing.T, env *testEnv, id string, total int, ttl time.Duration) *Store {
+	t.Helper()
+	st, err := NewStore(StoreConfig{
+		ID:              id,
+		TotalContainers: total,
+		Container:       env.containerConfig(0),
+		Cluster:         env.meta,
+		LeaseTTL:        ttl,
+	})
+	if err != nil {
+		t.Fatalf("NewStore %s: %v", id, err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	return st
+}
+
+func TestContainerOwner(t *testing.T) {
+	env := newTestEnv(t)
+	st := ownershipStore(t, env, "s0", 2, 0)
+	if _, err := ContainerOwner(env.meta, 0); !errors.Is(err, cluster.ErrNoNode) {
+		t.Fatalf("owner of unclaimed container = %v, want ErrNoNode", err)
+	}
+	if _, err := st.StartContainer(0); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := ContainerOwner(env.meta, 0)
+	if err != nil || owner != "s0" {
+		t.Fatalf("owner = %q, %v; want s0", owner, err)
+	}
+	// A graceful stop releases the claim.
+	if err := st.StopContainer(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ContainerOwner(env.meta, 0); !errors.Is(err, cluster.ErrNoNode) {
+		t.Fatalf("owner after StopContainer = %v, want ErrNoNode", err)
+	}
+}
+
+// TestRebalanceSplitsContainers runs two managers synchronously: the claim
+// set converges to an even split without contention losses.
+func TestRebalanceSplitsContainers(t *testing.T) {
+	env := newTestEnv(t)
+	s0 := ownershipStore(t, env, "s0", 4, time.Minute)
+	s1 := ownershipStore(t, env, "s1", 4, time.Minute)
+	m0, err := StartOwnershipManager(s0, OwnershipConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := StartOwnershipManager(s1, OwnershipConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		if err := m0.RebalanceOnce(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m1.RebalanceOnce(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	claims, err := ClaimedContainers(env.meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) != 4 {
+		t.Fatalf("%d/4 containers claimed: %s", len(claims), DumpAssignment(env.meta))
+	}
+	count := map[string]int{}
+	for _, owner := range claims {
+		count[owner]++
+	}
+	if count["s0"] != 2 || count["s1"] != 2 {
+		t.Fatalf("uneven split: %s", DumpAssignment(env.meta))
+	}
+	if got := len(s0.HostedContainers()); got != 2 {
+		t.Fatalf("s0 hosts %d containers, claims say 2", got)
+	}
+}
+
+// TestLeaseExpiryHandsOverClaims lets one store's lease lapse (no manager
+// renews it): the survivor's rebalance pass observes the orphaned claims and
+// takes them all, and the expired store's renewal reports the closed session.
+func TestLeaseExpiryHandsOverClaims(t *testing.T) {
+	env := newTestEnv(t)
+	ttl := 100 * time.Millisecond
+	dead := ownershipStore(t, env, "dead", 2, ttl)
+	if _, err := dead.StartContainer(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dead.StartContainer(1); err != nil {
+		t.Fatal(err)
+	}
+	// The survivor has no TTL and a live manager loop is not needed:
+	// RebalanceOnce is driven by hand for determinism.
+	surv := ownershipStore(t, env, "surv", 2, 0)
+	m, err := StartOwnershipManager(surv, OwnershipConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := m.RebalanceOnce(); err != nil {
+			t.Fatal(err)
+		}
+		if len(surv.HostedContainers()) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivor never took over: %s", DumpAssignment(env.meta))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for id := 0; id < 2; id++ {
+		owner, err := ContainerOwner(env.meta, id)
+		if err != nil || owner != "surv" {
+			t.Fatalf("container %d owner = %q, %v; want surv", id, owner, err)
+		}
+	}
+	if err := dead.RenewLease(); !errors.Is(err, cluster.ErrSessionClosed) {
+		t.Fatalf("expired store's RenewLease = %v, want ErrSessionClosed", err)
+	}
+}
+
+// TestRebalanceShedsOnJoin adds a third manager to a converged pair: phase 2
+// releases gracefully until everyone is at target.
+func TestRebalanceShedsOnJoin(t *testing.T) {
+	env := newTestEnv(t)
+	const total = 6
+	stores := []*Store{
+		ownershipStore(t, env, "s0", total, time.Minute),
+		ownershipStore(t, env, "s1", total, time.Minute),
+	}
+	var mgrs []*OwnershipManager
+	for _, st := range stores {
+		m, err := StartOwnershipManager(st, OwnershipConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs = append(mgrs, m)
+	}
+	for round := 0; round < 5; round++ {
+		for _, m := range mgrs {
+			if err := m.RebalanceOnce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	joiner := ownershipStore(t, env, "s2", total, time.Minute)
+	mj, err := StartOwnershipManager(joiner, OwnershipConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgrs = append(mgrs, mj)
+	for round := 0; round < 10; round++ {
+		for _, m := range mgrs {
+			if err := m.RebalanceOnce(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	claims, err := ClaimedContainers(env.meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(claims) != total {
+		t.Fatalf("%d/%d claimed after join: %s", len(claims), total, DumpAssignment(env.meta))
+	}
+	count := map[string]int{}
+	for _, owner := range claims {
+		count[owner]++
+	}
+	for _, id := range []string{"s0", "s1", "s2"} {
+		if count[id] != 2 {
+			t.Fatalf("store %s holds %d containers after join, want 2: %s",
+				id, count[id], DumpAssignment(env.meta))
+		}
+	}
+}

@@ -22,6 +22,11 @@ type StoreConfig struct {
 	Container ContainerConfig
 	// Cluster is the coordination store for container assignment.
 	Cluster *cluster.Store
+	// LeaseTTL bounds how stale this store's container claims can be: the
+	// store's cluster session expires unless renewed within this window
+	// (§4.4). Zero means the session never expires (claims drop only on
+	// Close/Crash) — the pre-dynamic-ownership behavior.
+	LeaseTTL time.Duration
 }
 
 // Store is one segment store instance hosting a subset of the cluster's
@@ -35,9 +40,69 @@ type Store struct {
 	mu         sync.Mutex
 	containers map[int]*Container
 	closed     bool
+	mgr        *OwnershipManager
 }
 
-const assignmentRoot = "/pravega/containers"
+func (st *Store) setManager(m *OwnershipManager) {
+	st.mu.Lock()
+	st.mgr = m
+	st.mu.Unlock()
+}
+
+// Closed reports whether the store has been closed or crashed.
+func (st *Store) Closed() bool { return st.isClosed() }
+
+func (st *Store) isClosed() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.closed
+}
+
+func (st *Store) hosts(id int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	_, ok := st.containers[id]
+	return ok
+}
+
+const (
+	assignmentRoot = "/pravega/containers"
+	// placementEpochPath is a counter node whose version increments on every
+	// container claim change. Clients cache a placement table stamped with
+	// the epoch and refresh when the epoch moves (or a wrong-host reply
+	// tells them it has).
+	placementEpochPath = "/pravega/placement/epoch"
+)
+
+// BumpPlacementEpoch advances the cluster-wide placement epoch. Call after
+// any claim change (start, stop, crash, re-acquire).
+func BumpPlacementEpoch(cs *cluster.Store) {
+	if _, err := cs.Set(placementEpochPath, nil, -1); errors.Is(err, cluster.ErrNoNode) {
+		_ = cs.CreateAll(placementEpochPath, nil)
+		_, _ = cs.Set(placementEpochPath, nil, -1)
+	}
+}
+
+// PlacementEpoch reads the current placement epoch (0 when unset).
+func PlacementEpoch(cs *cluster.Store) int64 {
+	_, st, err := cs.Get(placementEpochPath)
+	if err != nil {
+		return 0
+	}
+	return st.Version
+}
+
+// WatchPlacementEpoch arms a one-shot watch on the epoch node.
+func WatchPlacementEpoch(cs *cluster.Store) (<-chan cluster.Event, error) {
+	ch, err := cs.WatchData(placementEpochPath)
+	if errors.Is(err, cluster.ErrNoNode) {
+		if cerr := cs.CreateAll(placementEpochPath, nil); cerr != nil && !errors.Is(cerr, cluster.ErrNodeExists) {
+			return nil, cerr
+		}
+		return cs.WatchData(placementEpochPath)
+	}
+	return ch, err
+}
 
 // NewStore registers the store in the cluster. Containers are started with
 // StartContainer (the controller or an orchestration loop decides which).
@@ -51,9 +116,12 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	if err := cfg.Cluster.CreateAll(assignmentRoot, nil); err != nil && !errors.Is(err, cluster.ErrNodeExists) {
 		return nil, err
 	}
+	if err := cfg.Cluster.CreateAll(placementEpochPath, nil); err != nil && !errors.Is(err, cluster.ErrNodeExists) {
+		return nil, err
+	}
 	return &Store{
 		cfg:        cfg,
-		session:    cfg.Cluster.NewSession(),
+		session:    cfg.Cluster.NewSessionTTL(cfg.LeaseTTL),
 		containers: make(map[int]*Container),
 	}, nil
 }
@@ -86,7 +154,37 @@ func (st *Store) StartContainer(id int) (*Container, error) {
 	st.mu.Lock()
 	st.containers[id] = c
 	st.mu.Unlock()
+	BumpPlacementEpoch(st.cfg.Cluster)
 	return c, nil
+}
+
+// StopContainer gracefully hands off one hosted container: in-flight
+// appends drain, unflushed data is forced to LTS, and only then is the
+// claim released — the next owner recovers an empty (or minimal) WAL
+// backlog. Used by the rebalancer when shedding load (§4.4).
+func (st *Store) StopContainer(id int) error {
+	st.mu.Lock()
+	c, ok := st.containers[id]
+	delete(st.containers, id)
+	st.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: container %d not hosted on %s", ErrWrongContainer, id, st.cfg.ID)
+	}
+	flushErr := c.FlushAll()
+	closeErr := c.Close()
+	_ = st.cfg.Cluster.Delete(fmt.Sprintf("%s/%d", assignmentRoot, id), -1)
+	BumpPlacementEpoch(st.cfg.Cluster)
+	if flushErr != nil {
+		return flushErr
+	}
+	return closeErr
+}
+
+// RenewLease extends the store's session lease. cluster.ErrSessionClosed
+// means the lease already expired: every claim this store held is gone and
+// its containers are zombies that must stop serving.
+func (st *Store) RenewLease() error {
+	return st.session.Renew()
 }
 
 // CrashContainer abruptly stops one hosted container (fault-injection
@@ -104,6 +202,7 @@ func (st *Store) CrashContainer(id int) error {
 	}
 	c.Crash()
 	_ = st.cfg.Cluster.Delete(fmt.Sprintf("%s/%d", assignmentRoot, id), -1)
+	BumpPlacementEpoch(st.cfg.Cluster)
 	return nil
 }
 
@@ -254,11 +353,15 @@ func (st *Store) Close() error {
 		return nil
 	}
 	st.closed = true
+	mgr := st.mgr
 	cs := make([]*Container, 0, len(st.containers))
 	for _, c := range st.containers {
 		cs = append(cs, c)
 	}
 	st.mu.Unlock()
+	if mgr != nil {
+		mgr.Stop()
+	}
 	var firstErr error
 	for _, c := range cs {
 		if err := c.Close(); err != nil && firstErr == nil {
@@ -266,6 +369,7 @@ func (st *Store) Close() error {
 		}
 	}
 	st.session.Close()
+	BumpPlacementEpoch(st.cfg.Cluster)
 	return firstErr
 }
 
@@ -279,13 +383,18 @@ func (st *Store) Crash() {
 		return
 	}
 	st.closed = true
+	mgr := st.mgr
 	cs := make([]*Container, 0, len(st.containers))
 	for _, c := range st.containers {
 		cs = append(cs, c)
 	}
 	st.mu.Unlock()
+	if mgr != nil {
+		mgr.Stop()
+	}
 	for _, c := range cs {
 		c.Crash()
 	}
 	st.session.Close()
+	BumpPlacementEpoch(st.cfg.Cluster)
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/pravega-go/pravega/internal/client"
@@ -30,6 +31,10 @@ var (
 		"Append round-trip time (µs), send to acknowledgement")
 	mcLongPolls = obs.Default().Gauge("pravega_wire_client_longpoll_reads",
 		"Long-poll reads waiting on the server")
+	mcPlacementRefreshes = obs.Default().Counter("pravega_wire_client_placement_refreshes_total",
+		"Cluster-info refreshes triggered by wrong-host replies or epoch staleness")
+	mcWrongHostRetries = obs.Default().Counter("pravega_wire_client_wrong_host_retries_total",
+		"Synchronous operations re-routed after a wrong-host reply")
 )
 
 // ClientConfig tunes the remote transport.
@@ -69,15 +74,29 @@ func (c *ClientConfig) defaults() {
 type Client struct {
 	addr string
 	cfg  ClientConfig
-	info ClusterInfo
 
-	ctrl   *storeConn
+	// info is the latest placement snapshot (ClusterInfo + epoch); replaced
+	// wholesale by refreshPlacement, read lock-free on the append path.
+	info atomic.Pointer[ClusterInfo]
+
+	ctrl *storeConn
+
+	// poolMu guards the store-connection pool, which can grow when a
+	// placement refresh reports more stores. Reads go through storePool.
+	poolMu sync.Mutex
 	stores []*storeConn
+
+	// refreshMu single-flights placement refreshes: concurrent wrong-host
+	// retries coalesce into one ClusterInfo round trip instead of a storm.
+	refreshMu sync.Mutex
 
 	// dial overrides the transport dialer (fault-injection tests count and
 	// script dials through it); nil means Dial.
 	dial func(addr string) (*Conn, error)
 }
+
+// clusterInfo returns the current placement snapshot.
+func (c *Client) clusterInfo() *ClusterInfo { return c.info.Load() }
 
 // dialServer opens one connection to the server through the configured
 // dialer.
@@ -115,7 +134,8 @@ func NewClient(addr string, cfg ClientConfig) (*Client, error) {
 		_ = ctrlConn.Close()
 		return nil, fmt.Errorf("wire: bad cluster info (%d stores, %d containers)", info.Stores, info.TotalContainers)
 	}
-	c := &Client{addr: addr, cfg: cfg, info: info}
+	c := &Client{addr: addr, cfg: cfg}
+	c.info.Store(&info)
 	c.ctrl = newStoreConn(c, ctrlConn)
 	c.stores = make([]*storeConn, info.Stores)
 	for i := range c.stores {
@@ -129,11 +149,52 @@ func NewClient(addr string, cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
+// refreshPlacement re-requests ClusterInfo when the held snapshot is no
+// newer than staleEpoch. Concurrent callers coalesce: whoever wins the
+// mutex refreshes, the rest observe the fresh snapshot and return. The
+// control connection carries the request, so a refresh never dials — the
+// pool only grows (by dialing) if the store count grew, which is how a
+// placement refresh avoids turning into a reconnect storm.
+func (c *Client) refreshPlacement(staleEpoch int64) error {
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	if cur := c.clusterInfo(); cur != nil && cur.Epoch > staleEpoch {
+		return nil // someone already refreshed past the stale snapshot
+	}
+	rep, err := c.ctrl.call(MsgClusterInfo, struct{}{})
+	if err != nil {
+		return err
+	}
+	var info ClusterInfo
+	if err := json.Unmarshal(rep.JSON, &info); err != nil {
+		return fmt.Errorf("wire: cluster info: %w", err)
+	}
+	if info.Stores <= 0 || info.TotalContainers <= 0 {
+		return fmt.Errorf("wire: bad cluster info (%d stores, %d containers)", info.Stores, info.TotalContainers)
+	}
+	mcPlacementRefreshes.Inc()
+	c.poolMu.Lock()
+	for len(c.stores) < info.Stores {
+		conn, derr := c.dialServer()
+		if derr != nil {
+			c.poolMu.Unlock()
+			return derr
+		}
+		c.stores = append(c.stores, newStoreConn(c, conn))
+	}
+	c.poolMu.Unlock()
+	c.info.Store(&info)
+	return nil
+}
+
 // Close tears down every connection. In-flight operations fail with
 // client.ErrDisconnected.
 func (c *Client) Close() error {
 	c.ctrl.close()
-	for _, sc := range c.stores {
+	c.poolMu.Lock()
+	stores := append([]*storeConn(nil), c.stores...)
+	c.poolMu.Unlock()
+	for _, sc := range stores {
 		if sc != nil {
 			sc.close()
 		}
@@ -141,12 +202,22 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// storeFor routes a qualified segment name to its store's connection, the
-// same hash the server-side cluster uses (transaction segments route by
-// their parent's name).
+// storeFor routes a qualified segment name to its store's connection using
+// the current placement snapshot, the same hash the server-side cluster
+// uses (transaction segments route by their parent's name). A container
+// with no known home (mid-failover snapshot) routes by container id — the
+// server resolves ownership per request anyway, and a wrong-host reply
+// triggers a refresh.
 func (c *Client) storeFor(name string) *storeConn {
-	id := keyspace.HashToContainer(segment.RoutingName(name), c.info.TotalContainers)
-	return c.stores[c.info.ContainerHome[id]]
+	info := c.clusterInfo()
+	id := keyspace.HashToContainer(segment.RoutingName(name), info.TotalContainers)
+	c.poolMu.Lock()
+	defer c.poolMu.Unlock()
+	si, ok := info.ContainerHome[id]
+	if !ok || si < 0 || si >= len(c.stores) {
+		si = id % len(c.stores)
+	}
+	return c.stores[si]
 }
 
 // storeConn owns one connection to the server and its reconnect loop.
@@ -350,6 +421,39 @@ func (sc *storeConn) call(t MessageType, body any) (Reply, error) {
 	}
 }
 
+// wrongHost reports a placement miss: the operation never started, so a
+// retry against refreshed placement is safe for any operation.
+func wrongHost(err error) bool { return errors.Is(err, client.ErrWrongHost) }
+
+// segCall performs one synchronous segment operation with bounded
+// wrong-host retry: each attempt re-routes through the current placement
+// snapshot, and a wrong-host reply refreshes placement (single-flight, no
+// redial) and backs off. During a failover a container is briefly unowned;
+// this window rides it out without hammering the server.
+func (c *Client) segCall(name string, t MessageType, body any) (Reply, error) {
+	deadline := time.Now().Add(c.cfg.SyncRetryWindow)
+	backoff := 5 * time.Millisecond
+	for {
+		rep, err := c.storeFor(name).call(t, body)
+		if err == nil || !wrongHost(err) {
+			return rep, err
+		}
+		if !time.Now().Before(deadline) {
+			return rep, err
+		}
+		mcWrongHostRetries.Inc()
+		staleEpoch := int64(0)
+		if info := c.clusterInfo(); info != nil {
+			staleEpoch = info.Epoch
+		}
+		_ = c.refreshPlacement(staleEpoch)
+		time.Sleep(backoff)
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
 // --- client.DataTransport ---
 
 // AppendAsync pipelines an append on the segment's store connection. It
@@ -377,6 +481,15 @@ func (c *Client) AppendAsync(name string, data []byte, writerID string, eventNum
 		err := ReplyError(rep)
 		if isDisconnect(err) {
 			sc.fault(conn)
+		} else if wrongHost(err) {
+			// Kick a background refresh so the writer's replay routes to the
+			// new owner; the connection itself is healthy — no fault, no
+			// teardown. The writer parks the batch and replays it (§3.2).
+			staleEpoch := int64(0)
+			if info := c.clusterInfo(); info != nil {
+				staleEpoch = info.Epoch
+			}
+			go func() { _ = c.refreshPlacement(staleEpoch) }()
 		}
 		cb(segstore.AppendResult{Offset: rep.Offset, Err: err})
 	})
@@ -390,7 +503,7 @@ func (c *Client) AppendAsync(name string, data []byte, writerID string, eventNum
 // AppendConditional implements the state synchronizer's compare-and-append.
 func (c *Client) AppendConditional(name string, data []byte, expectedOffset int64) (int64, error) {
 	req := AppendReq{Segment: name, Data: data, CondOffset: expectedOffset}
-	rep, err := c.storeFor(name).call(MsgAppend, &req)
+	rep, err := c.segCall(name, MsgAppend, &req)
 	if err != nil {
 		return 0, err
 	}
@@ -406,10 +519,10 @@ func (c *Client) Read(name string, offset int64, maxBytes int, wait time.Duratio
 // sends a cancel for the in-flight request and the server-side long poll
 // unblocks immediately.
 func (c *Client) ReadCtx(ctx context.Context, name string, offset int64, maxBytes int, wait time.Duration) (segstore.ReadResult, error) {
-	sc := c.storeFor(name)
 	req := ReadReq{Segment: name, Offset: offset, MaxBytes: maxBytes, WaitMS: wait.Milliseconds()}
 	deadline := time.Now().Add(c.cfg.SyncRetryWindow)
 	for {
+		sc := c.storeFor(name)
 		conn, err := sc.acquire(ctx, deadline)
 		if err != nil {
 			return segstore.ReadResult{}, err
@@ -446,6 +559,17 @@ func (c *Client) ReadCtx(ctx context.Context, name string, offset int64, maxByte
 				if ctx.Err() == nil && time.Now().Before(deadline) {
 					continue
 				}
+			} else if wrongHost(err) && ctx.Err() == nil && time.Now().Before(deadline) {
+				// Mid-failover: the container has no owner right now. Refresh
+				// placement and retry until the survivors re-acquire it.
+				mcWrongHostRetries.Inc()
+				staleEpoch := int64(0)
+				if info := c.clusterInfo(); info != nil {
+					staleEpoch = info.Epoch
+				}
+				_ = c.refreshPlacement(staleEpoch)
+				time.Sleep(5 * time.Millisecond)
+				continue
 			}
 			return segstore.ReadResult{}, err
 		}
@@ -455,7 +579,7 @@ func (c *Client) ReadCtx(ctx context.Context, name string, offset int64, maxByte
 
 // GetInfo fetches segment metadata.
 func (c *Client) GetInfo(name string) (segment.Info, error) {
-	rep, err := c.storeFor(name).call(MsgGetInfo, SegmentReq{Segment: name})
+	rep, err := c.segCall(name, MsgGetInfo, SegmentReq{Segment: name})
 	if err != nil {
 		return segment.Info{}, err
 	}
@@ -469,7 +593,7 @@ func (c *Client) GetInfo(name string) (segment.Info, error) {
 // WriterState returns the writer's last recorded event number (§3.2
 // reconnection handshake).
 func (c *Client) WriterState(name, writerID string) (int64, error) {
-	rep, err := c.storeFor(name).call(MsgWriterState, SegmentReq{Segment: name, WriterID: writerID})
+	rep, err := c.segCall(name, MsgWriterState, SegmentReq{Segment: name, WriterID: writerID})
 	if err != nil {
 		return 0, err
 	}
@@ -478,7 +602,7 @@ func (c *Client) WriterState(name, writerID string) (int64, error) {
 
 // CreateSegment registers a raw segment.
 func (c *Client) CreateSegment(name string) error {
-	_, err := c.storeFor(name).call(MsgCreateSegment, SegmentReq{Segment: name})
+	_, err := c.segCall(name, MsgCreateSegment, SegmentReq{Segment: name})
 	return err
 }
 
@@ -496,7 +620,6 @@ func (c *Client) CreateSegment(name string) error {
 // "already merged", and then the merge offset is reconstructed from the
 // target's length.
 func (c *Client) MergeSegment(target, source string) (int64, error) {
-	sc := c.storeFor(target)
 	deadline := time.Now().Add(c.cfg.SyncRetryWindow)
 	srcLen := int64(-1)
 	if info, err := c.GetInfo(source); err == nil {
@@ -505,6 +628,7 @@ func (c *Client) MergeSegment(target, source string) (int64, error) {
 	req := MergeReq{Target: target, Source: source}
 	ambiguous := false
 	for {
+		sc := c.storeFor(target)
 		conn, err := sc.acquire(nil, deadline)
 		if err != nil {
 			return 0, err
@@ -521,6 +645,18 @@ func (c *Client) MergeSegment(target, source string) (int64, error) {
 			return 0, disconnected(err)
 		}
 		if err != nil {
+			if wrongHost(err) && time.Now().Before(deadline) {
+				// Placement miss: the merge never started, so this retry does
+				// NOT make the outcome ambiguous.
+				mcWrongHostRetries.Inc()
+				staleEpoch := int64(0)
+				if info := c.clusterInfo(); info != nil {
+					staleEpoch = info.Epoch
+				}
+				_ = c.refreshPlacement(staleEpoch)
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
 			if ambiguous && errors.Is(err, segstore.ErrSegmentNotFound) {
 				// Lost-ack resolution: the source vanished after an attempt
 				// whose outcome we never saw, so an earlier try committed the

@@ -8,6 +8,7 @@ import (
 	"github.com/pravega-go/pravega/internal/client"
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/segstore"
+	"github.com/pravega-go/pravega/internal/wal"
 )
 
 // Error codes carried in Reply.Code. A reply's Err string keeps the
@@ -40,6 +41,8 @@ const (
 	codeTxnNotFound
 	codeTxnNotOpen
 	codeSegmentNotSealed
+	// Dynamic placement (lease-based container ownership).
+	codeWrongHost
 )
 
 // codeSentinels maps codes to the sentinel errors they name, in both
@@ -69,6 +72,11 @@ var codeSentinels = []struct {
 	{codeTxnNotFound, controller.ErrTxnNotFound},
 	{codeTxnNotOpen, controller.ErrTxnNotOpen},
 	{codeSegmentNotSealed, segstore.ErrSegmentNotSealed},
+	// Both "routed to the wrong store" and "zombie WAL fenced by the new
+	// owner" decode to client.ErrWrongHost: the client-side cure is the
+	// same — refresh placement and re-route.
+	{codeWrongHost, client.ErrWrongHost},
+	{codeWrongHost, wal.ErrFenced},
 }
 
 // ErrCode returns the wire code for an error's sentinel, or codeNone when

@@ -375,6 +375,17 @@ func (s *Server) handleRead(ctx context.Context, req ReadReq) Reply {
 	return Reply{Data: res.Data, Offset: res.Offset, EOS: res.EndOfSegment}
 }
 
+
+// jsonReply marshals v into a JSON reply, surfacing a marshal failure as an
+// error reply instead of silently returning an empty body.
+func jsonReply(v any, count int) Reply {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return errReply(err, Reply{})
+	}
+	return Reply{JSON: raw, Count: count}
+}
+
 func (s *Server) handle(t MessageType, body []byte) Reply {
 	cl := s.cl
 	ctrl := s.ctrl
@@ -413,8 +424,7 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 		if err != nil {
 			return errReply(err, Reply{})
 		}
-		raw, _ := json.Marshal(info)
-		return Reply{JSON: raw}
+		return jsonReply(info, 0)
 	case MsgWriterState:
 		var req SegmentReq
 		if err := json.Unmarshal(body, &req); err != nil {
@@ -456,8 +466,7 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 		if err != nil {
 			return errReply(err, Reply{})
 		}
-		raw, _ := json.Marshal(segs)
-		return Reply{JSON: raw, Count: len(segs)}
+		return jsonReply(segs, len(segs))
 	case MsgSuccessors:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
@@ -467,8 +476,7 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 		if err != nil {
 			return errReply(err, Reply{})
 		}
-		raw, _ := json.Marshal(succ)
-		return Reply{JSON: raw, Count: len(succ)}
+		return jsonReply(succ, len(succ))
 	case MsgHeadSegments:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
@@ -478,8 +486,7 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 		if err != nil {
 			return errReply(err, Reply{})
 		}
-		raw, _ := json.Marshal(heads)
-		return Reply{JSON: raw, Count: len(heads)}
+		return jsonReply(heads, len(heads))
 	case MsgScale:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
@@ -533,8 +540,7 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 		if err != nil {
 			return errReply(err, Reply{})
 		}
-		raw, _ := json.Marshal(cfg)
-		return Reply{JSON: raw}
+		return jsonReply(cfg, 0)
 	case MsgUpdatePolicies:
 		var req StreamReq
 		if err := json.Unmarshal(body, &req); err != nil {
@@ -568,8 +574,7 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 		if err != nil {
 			return errReply(err, Reply{})
 		}
-		raw, _ := json.Marshal(info)
-		return Reply{JSON: raw}
+		return jsonReply(info, 0)
 	case MsgCommitTxn:
 		var req TxnReq
 		if err := json.Unmarshal(body, &req); err != nil {
@@ -591,8 +596,7 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 		if err != nil {
 			return errReply(err, Reply{})
 		}
-		raw, _ := json.Marshal(state)
-		return Reply{JSON: raw}
+		return jsonReply(state, 0)
 	case MsgMergeSegments:
 		var req MergeReq
 		if err := json.Unmarshal(body, &req); err != nil {
@@ -607,9 +611,9 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 			TotalContainers: cl.TotalContainers(),
 			Stores:          len(cl.Stores()),
 			ContainerHome:   cl.ContainerHomes(),
+			Epoch:           cl.PlacementEpoch(),
 		}
-		raw, _ := json.Marshal(info)
-		return Reply{JSON: raw}
+		return jsonReply(info, 0)
 	default:
 		return Reply{Err: fmt.Sprintf("wire: unknown request type %d", t)}
 	}

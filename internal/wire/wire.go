@@ -248,6 +248,11 @@ type ClusterInfo struct {
 	TotalContainers int         `json:"totalContainers"`
 	Stores          int         `json:"stores"`
 	ContainerHome   map[int]int `json:"containerHome"`
+	// Epoch is the placement epoch this routing table reflects. Container
+	// ownership is dynamic (lease-based failover and rebalancing): a
+	// wrong-host reply means the table is stale and the client should
+	// re-request ClusterInfo until Epoch moves past the one it holds.
+	Epoch int64 `json:"epoch,omitempty"`
 }
 
 // Reply is the uniform response body. Code carries the error's sentinel

@@ -15,6 +15,7 @@ import (
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/keyspace"
 	"github.com/pravega-go/pravega/internal/segstore"
+	"github.com/pravega-go/pravega/internal/wal"
 )
 
 // WriterConfig parameterizes an EventWriter.
@@ -377,6 +378,20 @@ func (sw *segmentWriter) trySendLocked() {
 	sw.sendBatch(events)
 }
 
+// transientAppendErr reports append/handshake failures the writer resolves
+// by parking the batch and replaying through the WriterState handshake:
+// connection loss, or a container failover/rebalance in progress (routed to
+// the wrong host, container shut down mid-append, zombie WAL fenced by the
+// new owner). Replay is safe for all of them because the server-side
+// (writer, eventNum) dedup discards anything that was in fact applied.
+func transientAppendErr(err error) bool {
+	return errors.Is(err, client.ErrDisconnected) ||
+		errors.Is(err, client.ErrWrongHost) ||
+		errors.Is(err, segstore.ErrWrongContainer) ||
+		errors.Is(err, segstore.ErrContainerDown) ||
+		errors.Is(err, wal.ErrFenced)
+}
+
 // sendBatch serializes and ships one batch (caller holds sw.mu).
 func (sw *segmentWriter) sendBatch(events []pendingEvent) {
 	buf := make([]byte, 0, 4096)
@@ -442,12 +457,16 @@ func (sw *segmentWriter) onBatchResult(events []pendingEvent, payload int64, r s
 		} else if resolved {
 			sw.resolveSeal()
 		}
-	case errors.Is(r.Err, client.ErrDisconnected):
-		// The transport lost its connection with this batch in flight: the
-		// server may or may not have applied it. Park the batch for replay;
-		// once every in-flight batch has resolved, recover() re-establishes
-		// the writer's position via WriterState and replays (or acks) each
-		// parked batch in order (§3.2 reconnection handshake).
+	case transientAppendErr(r.Err):
+		// The transport lost its connection, or the container moved under a
+		// failover/rebalance (wrong host, container down, fenced zombie
+		// WAL), with this batch in flight: the server may or may not have
+		// applied it. Park the batch for replay; once every in-flight batch
+		// has resolved, recover() re-establishes the writer's position via
+		// WriterState and replays (or acks) each parked batch in order —
+		// server-side (writer, eventNum) dedup makes the replay exactly-once
+		// whichever way the ambiguity resolved (§3.2 reconnection
+		// handshake).
 		sw.mu.Lock()
 		sw.retry = append(sw.retry, batchRec{events: events, payload: payload})
 		sw.inflight--
@@ -491,13 +510,19 @@ func (sw *segmentWriter) recover() {
 	w := sw.w
 	name := sw.seg.ID.QualifiedName()
 	var attr int64
+	// A disconnect retries indefinitely (the transport reconnects with
+	// backoff underneath us); other transient failures — a container with
+	// no owner mid-failover — are bounded so a writer against a cluster
+	// that never recovers fails its futures instead of hanging.
+	transientDeadline := time.Now().Add(30 * time.Second)
 	for {
 		a, err := w.conn.WriterState(name, w.cfg.ID)
 		if err == nil {
 			attr = a
 			break
 		}
-		if !errors.Is(err, client.ErrDisconnected) {
+		if !errors.Is(err, client.ErrDisconnected) &&
+			!(transientAppendErr(err) && time.Now().Before(transientDeadline)) {
 			sw.mu.Lock()
 			recs := sw.retry
 			sw.retry = nil

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the failover recovery-latency benchmark and emits BENCH_failover.json
+# for CI artifact tracking. The benchmark crashes a live store and times
+# crash→reconverged (every orphaned container fenced, replayed and
+# re-acquired by a survivor); the custom µs/failover metric is the mean
+# recovery latency per iteration.
+#
+# Usage: scripts/bench_json.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_failover.json}"
+iters="${BENCH_ITERS:-5x}"
+
+raw="$(go test ./internal/hosting -run 'xxx' -bench 'BenchmarkFailover' \
+  -benchtime "$iters" -timeout 10m)"
+echo "$raw"
+
+line="$(echo "$raw" | grep -E '^BenchmarkFailover' | head -1)"
+if [[ -z "$line" ]]; then
+  echo "bench_json.sh: no BenchmarkFailover result in output" >&2
+  exit 1
+fi
+
+# Shape: BenchmarkFailover  <N>  <ns> ns/op  <µs> µs/failover
+n="$(echo "$line" | awk '{print $2}')"
+ns_per_op="$(echo "$line" | awk '{for (i=1;i<NF;i++) if ($(i+1)=="ns/op") print $i}')"
+us_per_failover="$(echo "$line" | awk '{for (i=1;i<NF;i++) if ($(i+1)=="µs/failover") print $i}')"
+if [[ -z "$n" || -z "$ns_per_op" || -z "$us_per_failover" ]]; then
+  echo "bench_json.sh: could not parse: $line" >&2
+  exit 1
+fi
+
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+cat >"$out" <<EOF
+{
+  "bench": "BenchmarkFailover",
+  "commit": "$commit",
+  "iterations": $n,
+  "ns_per_op": $ns_per_op,
+  "us_per_failover": $us_per_failover
+}
+EOF
+echo "bench_json.sh: wrote $out"
