@@ -62,16 +62,15 @@ type Client struct {
 	mu      sync.Mutex
 	bookies map[string]Node
 	links   map[string]*sim.Link // request path to each bookie
-	meta    *cluster.Store
+	meta    cluster.Coord
 	root    string
 	linkCfg sim.LinkConfig
-	nextID  int64
 }
 
 // ClientConfig parameterizes a BookKeeper client.
 type ClientConfig struct {
 	// Meta is the coordination store holding ledger metadata.
-	Meta *cluster.Store
+	Meta cluster.Coord
 	// MetaRoot is the path prefix for ledger metadata nodes.
 	MetaRoot string
 	// Link shapes the client->bookie network path (zero = instantaneous).
@@ -131,6 +130,26 @@ func (c *Client) bookie(id string) (Node, *sim.Link, error) {
 
 func (c *Client) metaPath(id int64) string { return fmt.Sprintf("%s/L%016d", c.root, id) }
 
+// nextLedgerID allocates a cluster-unique ledger id by CAS-bumping a counter
+// node (BookKeeper's ZooKeeper idgen). Ids must come from the coordination
+// store, not client memory: multiple store processes each run their own
+// Client against the same metadata tree.
+func (c *Client) nextLedgerID() (int64, error) {
+	path := c.root + "/idgen"
+	for {
+		st, err := c.meta.Set(path, nil, -1)
+		if err == nil {
+			return st.Version, nil
+		}
+		if !errors.Is(err, cluster.ErrNoNode) {
+			return 0, err
+		}
+		if cerr := c.meta.CreateAll(path, nil); cerr != nil && !errors.Is(cerr, cluster.ErrNodeExists) {
+			return 0, cerr
+		}
+	}
+}
+
 func (c *Client) writeMetadata(md LedgerMetadata, create bool) error {
 	data, err := json.Marshal(md)
 	if err != nil {
@@ -173,9 +192,11 @@ func (c *Client) CreateLedger(rep ReplicationConfig) (*LedgerHandle, error) {
 		}
 	}
 	sort.Strings(ids)
-	c.nextID++
-	lid := c.nextID
 	c.mu.Unlock()
+	lid, err := c.nextLedgerID()
+	if err != nil {
+		return nil, err
+	}
 
 	if len(ids) < rep.Ensemble {
 		return nil, fmt.Errorf("%w: need %d bookies, have %d alive", ErrNotEnough, rep.Ensemble, len(ids))

@@ -1,0 +1,42 @@
+package cluster
+
+import "time"
+
+// Coord is the coordination-store surface consumed by the segment store,
+// WAL and bookkeeper layers. Two implementations exist: *Store (in-process,
+// the coord role's backing store) and wire.RemoteStore (the same surface
+// spoken over the wire protocol by store processes, as segment-store hosts
+// talk to an external ZooKeeper in the paper's deployment §2.2).
+type Coord interface {
+	Create(path string, data []byte) error
+	CreateAll(path string, data []byte) error
+	Get(path string) ([]byte, Stat, error)
+	Set(path string, data []byte, version int64) (Stat, error)
+	Delete(path string, version int64) error
+	Children(path string) ([]string, error)
+	Exists(path string) bool
+	WatchData(path string) (<-chan Event, error)
+	WatchChildren(path string) (<-chan Event, error)
+	OpenSession(ttl time.Duration) (CoordSession, error)
+}
+
+// CoordSession is the session surface behind Coord: ephemeral-node ownership
+// plus lease renewal. For remote sessions the ZooKeeper rule applies — a
+// dropped connection is not a dropped session; only TTL expiry (or Close) is.
+type CoordSession interface {
+	ID() int64
+	TTL() time.Duration
+	CreateEphemeral(path string, data []byte) error
+	Renew() error
+	Close()
+}
+
+// OpenSession opens a session with the given TTL (<= 0 for non-expiring),
+// satisfying Coord. It never fails for the in-process store; the error slot
+// exists for remote implementations that must reach the coord process.
+func (s *Store) OpenSession(ttl time.Duration) (CoordSession, error) {
+	return s.NewSessionTTL(ttl), nil
+}
+
+var _ Coord = (*Store)(nil)
+var _ CoordSession = (*Session)(nil)

@@ -43,9 +43,12 @@ type Event struct {
 	Path string
 }
 
-// Stat carries node metadata.
+// Stat carries node metadata. CVersion counts child-set changes (ZooKeeper's
+// cversion); remote watchers use it to detect child churn that happened while
+// they were disconnected.
 type Stat struct {
 	Version   int64
+	CVersion  int64
 	Ephemeral bool
 	Owner     int64 // session id for ephemeral nodes
 }
@@ -53,12 +56,17 @@ type Stat struct {
 type node struct {
 	data      []byte
 	version   int64
+	cversion  int64
 	ephemeral bool
 	owner     int64
 	children  map[string]*node
 
 	dataWatch  []chan Event
 	childWatch []chan Event
+}
+
+func (n *node) stat() Stat {
+	return Stat{Version: n.version, CVersion: n.cversion, Ephemeral: n.ephemeral, Owner: n.owner}
 }
 
 // Store is the coordination service. The zero value is not usable; call
@@ -228,6 +236,7 @@ func (s *Store) create(path string, data []byte, sess *Session) error {
 		sess.paths[path] = struct{}{}
 	}
 	parent.children[leaf] = n
+	parent.cversion++
 	fire(&parent.childWatch, Event{Type: EventChildren, Path: path})
 	return nil
 }
@@ -259,7 +268,7 @@ func (s *Store) Get(path string) ([]byte, Stat, error) {
 	if err != nil {
 		return nil, Stat{}, err
 	}
-	return append([]byte(nil), n.data...), Stat{Version: n.version, Ephemeral: n.ephemeral, Owner: n.owner}, nil
+	return append([]byte(nil), n.data...), n.stat(), nil
 }
 
 // Set replaces the node's data. version >= 0 demands a compare-and-set
@@ -279,7 +288,7 @@ func (s *Store) Set(path string, data []byte, version int64) (Stat, error) {
 	n.data = append([]byte(nil), data...)
 	n.version++
 	fire(&n.dataWatch, Event{Type: EventChanged, Path: path})
-	return Stat{Version: n.version, Ephemeral: n.ephemeral, Owner: n.owner}, nil
+	return n.stat(), nil
 }
 
 // Delete removes a leaf node; version semantics as in Set.
@@ -306,6 +315,7 @@ func (s *Store) deleteLocked(path string, version int64) error {
 		return ErrNotEmpty
 	}
 	delete(parent.children, leaf)
+	parent.cversion++
 	if n.ephemeral {
 		if sess, ok := s.sessions[n.owner]; ok {
 			delete(sess.paths, path)

@@ -1,20 +1,46 @@
 package hosting
 
 import (
+	"fmt"
 	"testing"
 	"time"
 )
 
-// BenchmarkFailover measures crash-to-reconverged latency: one store is
-// crashed and the timer runs until every orphaned container has been fenced,
-// replayed and re-acquired by a survivor. Between iterations a replacement
-// store is added (untimed) so the cluster never shrinks. The reported
-// µs/failover is the signal scripts/bench_json.sh tracks as
-// BENCH_failover.json.
+// failoverShapes is the sweep grid: cluster width (stores), placement
+// density (containers per store) and seeded WAL depth (appends per
+// container before the first crash). The first entry is the historical
+// 3×4×16 baseline; scripts/bench_json.sh records every point and keeps the
+// baseline as the headline trend number.
+var failoverShapes = []struct {
+	stores, containers, wal int
+}{
+	{3, 4, 16}, // baseline — keep first
+	{5, 4, 16},
+	{8, 4, 16},
+	{3, 8, 16},
+	{3, 16, 16},
+	{3, 4, 64},
+	{3, 4, 256},
+	{5, 8, 64},
+}
+
+// BenchmarkFailover measures crash-to-reconverged latency across the sweep:
+// one store is crashed and the timer runs until every orphaned container
+// has been fenced, replayed and re-acquired by a survivor. Between
+// iterations a replacement store is added (untimed) so the cluster never
+// shrinks. The reported µs/failover per shape is the signal
+// scripts/bench_json.sh tracks as BENCH_failover.json.
 func BenchmarkFailover(b *testing.B) {
+	for _, s := range failoverShapes {
+		b.Run(fmt.Sprintf("stores=%d/containers=%d/wal=%d", s.stores, s.containers, s.wal),
+			func(b *testing.B) { benchFailover(b, s.stores, s.containers, s.wal) })
+	}
+}
+
+func benchFailover(b *testing.B, stores, containersPerStore, walDepth int) {
 	cl, err := NewCluster(ClusterConfig{
-		Stores:             3,
-		ContainersPerStore: 4,
+		Stores:             stores,
+		ContainersPerStore: containersPerStore,
 		Ownership: OwnershipConfig{
 			LeaseTTL:          2 * time.Second,
 			RebalanceInterval: 5 * time.Millisecond,
@@ -36,7 +62,7 @@ func BenchmarkFailover(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for i := 0; i < 16; i++ {
+		for i := 0; i < walDepth; i++ {
 			if _, err := st.Append(seg, []byte("failover-bench-payload"), "w", int64(i+1), 1); err != nil {
 				b.Fatal(err)
 			}

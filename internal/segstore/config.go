@@ -16,7 +16,7 @@ type ContainerConfig struct {
 	// BK is the BookKeeper client for the container's WAL.
 	BK *bookkeeper.Client
 	// Meta is the coordination store (WAL metadata, fencing epochs).
-	Meta *cluster.Store
+	Meta cluster.Coord
 	// Replication configures the WAL ledgers.
 	Replication bookkeeper.ReplicationConfig
 	// LTS is the long-term storage backend.

@@ -36,6 +36,11 @@ type OwnershipConfig struct {
 	// RebalanceInterval is the manager's tick: lease renewal plus one
 	// rebalance pass per tick. Defaults to 50ms.
 	RebalanceInterval time.Duration
+	// AdvertiseAddr, when set, is stored as the host registration's data so
+	// clients and the controller can dial this store's wire endpoint
+	// directly. Empty for in-process clusters (everything shares one
+	// listener).
+	AdvertiseAddr string
 }
 
 // OwnershipManager runs the dynamic side of container placement (§2.2,
@@ -76,7 +81,7 @@ func StartOwnershipManager(st *Store, cfg OwnershipConfig) (*OwnershipManager, e
 	if err := cs.CreateAll(hostsRoot, nil); err != nil && !errors.Is(err, cluster.ErrNodeExists) {
 		return nil, err
 	}
-	if err := st.session.CreateEphemeral(hostsRoot+"/"+st.cfg.ID, nil); err != nil && !errors.Is(err, cluster.ErrNodeExists) {
+	if err := st.session.CreateEphemeral(hostsRoot+"/"+st.cfg.ID, []byte(cfg.AdvertiseAddr)); err != nil && !errors.Is(err, cluster.ErrNodeExists) {
 		return nil, err
 	}
 	m := &OwnershipManager{
@@ -132,7 +137,7 @@ func (m *OwnershipManager) loop() {
 }
 
 // liveHosts lists the registered store ids, sorted.
-func liveHosts(cs *cluster.Store) ([]string, error) {
+func liveHosts(cs cluster.Coord) ([]string, error) {
 	hosts, err := cs.Children(hostsRoot)
 	if err != nil {
 		if errors.Is(err, cluster.ErrNoNode) {
@@ -144,8 +149,36 @@ func liveHosts(cs *cluster.Store) ([]string, error) {
 	return hosts, nil
 }
 
+// LiveHosts lists the registered store ids, sorted, alongside each host's
+// advertised wire address (empty string when the store registered none). The
+// coord role uses this to build ClusterInfo with per-store addresses.
+func LiveHosts(cs cluster.Coord) ([]string, map[string]string, error) {
+	hosts, err := liveHosts(cs)
+	if err != nil {
+		return nil, nil, err
+	}
+	addrs := make(map[string]string, len(hosts))
+	for _, h := range hosts {
+		data, _, err := cs.Get(hostsRoot + "/" + h)
+		if err != nil {
+			continue // host vanished between Children and Get
+		}
+		addrs[h] = string(data)
+	}
+	return hosts, addrs, nil
+}
+
+// HostAddr returns the advertised wire address of a live host.
+func HostAddr(cs cluster.Coord, id string) (string, error) {
+	data, _, err := cs.Get(hostsRoot + "/" + id)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
 // ClaimedContainers maps container id -> owning store for every live claim.
-func ClaimedContainers(cs *cluster.Store) (map[int]string, error) {
+func ClaimedContainers(cs cluster.Coord) (map[int]string, error) {
 	names, err := cs.Children(assignmentRoot)
 	if err != nil {
 		if errors.Is(err, cluster.ErrNoNode) {
@@ -285,7 +318,7 @@ func (m *OwnershipManager) noteOwners(claims map[int]string, now time.Time) {
 }
 
 // DumpAssignment renders the current claim map for debugging.
-func DumpAssignment(cs *cluster.Store) string {
+func DumpAssignment(cs cluster.Coord) string {
 	claims, err := ClaimedContainers(cs)
 	if err != nil {
 		return fmt.Sprintf("<error: %v>", err)

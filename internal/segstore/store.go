@@ -20,8 +20,9 @@ type StoreConfig struct {
 	TotalContainers int
 	// Container is the template for hosted containers (ID overridden).
 	Container ContainerConfig
-	// Cluster is the coordination store for container assignment.
-	Cluster *cluster.Store
+	// Cluster is the coordination store for container assignment — the local
+	// store in-process, or a wire.RemoteStore in a store-role process.
+	Cluster cluster.Coord
 	// LeaseTTL bounds how stale this store's container claims can be: the
 	// store's cluster session expires unless renewed within this window
 	// (§4.4). Zero means the session never expires (claims drop only on
@@ -35,7 +36,7 @@ type StoreConfig struct {
 // reassignable (§4.4).
 type Store struct {
 	cfg     StoreConfig
-	session *cluster.Session
+	session cluster.CoordSession
 
 	mu         sync.Mutex
 	containers map[int]*Container
@@ -76,7 +77,7 @@ const (
 
 // BumpPlacementEpoch advances the cluster-wide placement epoch. Call after
 // any claim change (start, stop, crash, re-acquire).
-func BumpPlacementEpoch(cs *cluster.Store) {
+func BumpPlacementEpoch(cs cluster.Coord) {
 	if _, err := cs.Set(placementEpochPath, nil, -1); errors.Is(err, cluster.ErrNoNode) {
 		_ = cs.CreateAll(placementEpochPath, nil)
 		_, _ = cs.Set(placementEpochPath, nil, -1)
@@ -84,7 +85,7 @@ func BumpPlacementEpoch(cs *cluster.Store) {
 }
 
 // PlacementEpoch reads the current placement epoch (0 when unset).
-func PlacementEpoch(cs *cluster.Store) int64 {
+func PlacementEpoch(cs cluster.Coord) int64 {
 	_, st, err := cs.Get(placementEpochPath)
 	if err != nil {
 		return 0
@@ -93,7 +94,7 @@ func PlacementEpoch(cs *cluster.Store) int64 {
 }
 
 // WatchPlacementEpoch arms a one-shot watch on the epoch node.
-func WatchPlacementEpoch(cs *cluster.Store) (<-chan cluster.Event, error) {
+func WatchPlacementEpoch(cs cluster.Coord) (<-chan cluster.Event, error) {
 	ch, err := cs.WatchData(placementEpochPath)
 	if errors.Is(err, cluster.ErrNoNode) {
 		if cerr := cs.CreateAll(placementEpochPath, nil); cerr != nil && !errors.Is(cerr, cluster.ErrNodeExists) {
@@ -119,9 +120,13 @@ func NewStore(cfg StoreConfig) (*Store, error) {
 	if err := cfg.Cluster.CreateAll(placementEpochPath, nil); err != nil && !errors.Is(err, cluster.ErrNodeExists) {
 		return nil, err
 	}
+	sess, err := cfg.Cluster.OpenSession(cfg.LeaseTTL)
+	if err != nil {
+		return nil, err
+	}
 	return &Store{
 		cfg:        cfg,
-		session:    cfg.Cluster.NewSessionTTL(cfg.LeaseTTL),
+		session:    sess,
 		containers: make(map[int]*Container),
 	}, nil
 }
@@ -238,7 +243,7 @@ func (st *Store) HostedContainers() []int {
 }
 
 // ContainerOwner resolves which store currently claims a container.
-func ContainerOwner(cs *cluster.Store, id int) (string, error) {
+func ContainerOwner(cs cluster.Coord, id int) (string, error) {
 	data, _, err := cs.Get(fmt.Sprintf("%s/%d", assignmentRoot, id))
 	if err != nil {
 		return "", err
@@ -370,6 +375,35 @@ func (st *Store) Close() error {
 	}
 	st.session.Close()
 	BumpPlacementEpoch(st.cfg.Cluster)
+	return firstErr
+}
+
+// Drain gracefully hands off every hosted container and then closes the
+// store: the ownership manager stops (so it cannot re-claim), each container
+// is stopped via StopContainer — in-flight appends drain, unflushed data is
+// forced to LTS, and the claim is released — and finally the session closes.
+// Survivors take over via handoff instead of waiting out the lease TTL, and
+// no lease expiry is recorded. This is the store role's SIGTERM path.
+func (st *Store) Drain() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	mgr := st.mgr
+	st.mu.Unlock()
+	if mgr != nil {
+		mgr.Stop()
+	}
+	var firstErr error
+	for _, id := range st.HostedContainers() {
+		if err := st.StopContainer(id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := st.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	return firstErr
 }
 

@@ -61,7 +61,7 @@ type Config struct {
 	// Client is the BookKeeper client.
 	Client *bookkeeper.Client
 	// Meta stores log metadata.
-	Meta *cluster.Store
+	Meta cluster.Coord
 	// MetaRoot prefixes metadata paths.
 	MetaRoot string
 	// Replication is passed to each ledger.

@@ -93,18 +93,32 @@ type Client struct {
 	// dial overrides the transport dialer (fault-injection tests count and
 	// script dials through it); nil means Dial.
 	dial func(addr string) (*Conn, error)
+
+	// epochStop ends the background placement-epoch watcher (closed once).
+	epochStop chan struct{}
+	closeOnce sync.Once
 }
 
 // clusterInfo returns the current placement snapshot.
 func (c *Client) clusterInfo() *ClusterInfo { return c.info.Load() }
 
-// dialServer opens one connection to the server through the configured
-// dialer.
-func (c *Client) dialServer() (*Conn, error) {
+// dialServer opens one connection to the given address through the
+// configured dialer.
+func (c *Client) dialServer(addr string) (*Conn, error) {
 	if c.dial != nil {
-		return c.dial(c.addr)
+		return c.dial(addr)
 	}
-	return Dial(c.addr)
+	return Dial(addr)
+}
+
+// storeAddr resolves the address of store index i from a snapshot: the
+// multi-process cluster advertises one address per store (StoreAddrs); the
+// single-process server serves every store behind the bootstrap address.
+func (c *Client) storeAddr(info *ClusterInfo, i int) string {
+	if info != nil && i < len(info.StoreAddrs) && info.StoreAddrs[i] != "" {
+		return info.StoreAddrs[i]
+	}
+	return c.addr
 }
 
 var (
@@ -134,18 +148,20 @@ func NewClient(addr string, cfg ClientConfig) (*Client, error) {
 		_ = ctrlConn.Close()
 		return nil, fmt.Errorf("wire: bad cluster info (%d stores, %d containers)", info.Stores, info.TotalContainers)
 	}
-	c := &Client{addr: addr, cfg: cfg}
+	c := &Client{addr: addr, cfg: cfg, epochStop: make(chan struct{})}
 	c.info.Store(&info)
-	c.ctrl = newStoreConn(c, ctrlConn)
+	c.ctrl = newStoreConn(c, ctrlConn, addr)
 	c.stores = make([]*storeConn, info.Stores)
 	for i := range c.stores {
-		conn, err := Dial(addr)
+		saddr := c.storeAddr(&info, i)
+		conn, err := Dial(saddr)
 		if err != nil {
 			_ = c.Close()
 			return nil, err
 		}
-		c.stores[i] = newStoreConn(c, conn)
+		c.stores[i] = newStoreConn(c, conn, saddr)
 	}
+	go c.watchEpochLoop()
 	return c, nil
 }
 
@@ -175,21 +191,78 @@ func (c *Client) refreshPlacement(staleEpoch int64) error {
 	mcPlacementRefreshes.Inc()
 	c.poolMu.Lock()
 	for len(c.stores) < info.Stores {
-		conn, derr := c.dialServer()
+		saddr := c.storeAddr(&info, len(c.stores))
+		conn, derr := c.dialServer(saddr)
 		if derr != nil {
 			c.poolMu.Unlock()
 			return derr
 		}
-		c.stores = append(c.stores, newStoreConn(c, conn))
+		c.stores = append(c.stores, newStoreConn(c, conn, saddr))
+	}
+	var drop []*storeConn
+	if len(info.StoreAddrs) > 0 {
+		// Multi-process placement: store identities are addresses, so the
+		// pool must track them. A replaced address re-points that slot's
+		// connection (it redials lazily); a shrunken cluster trims the tail.
+		for i := 0; i < len(c.stores) && i < info.Stores; i++ {
+			c.stores[i].setAddr(c.storeAddr(&info, i))
+		}
+		for len(c.stores) > info.Stores {
+			drop = append(drop, c.stores[len(c.stores)-1])
+			c.stores = c.stores[:len(c.stores)-1]
+		}
 	}
 	c.poolMu.Unlock()
 	c.info.Store(&info)
+	for _, sc := range drop {
+		sc.close()
+	}
 	return nil
+}
+
+// watchEpochLoop long-polls the server's placement epoch and refreshes the
+// client's snapshot the moment it advances. This is what lets an IDLE
+// reader re-pin to the new owner after a failover proactively, instead of
+// discovering the move via a wrong-host round trip on its next read.
+func (c *Client) watchEpochLoop() {
+	for {
+		select {
+		case <-c.epochStop:
+			return
+		default:
+		}
+		known := int64(0)
+		if info := c.clusterInfo(); info != nil {
+			known = info.Epoch
+		}
+		rep, err := c.ctrl.call(MsgWatchEpoch, EpochReq{Known: known})
+		if err != nil {
+			if !isDisconnect(err) {
+				// The server doesn't serve epoch watches: fall back to the
+				// reactive wrong-host path for this client's lifetime.
+				return
+			}
+			select {
+			case <-c.epochStop:
+				return
+			case <-time.After(c.cfg.MaxBackoff):
+			}
+			continue
+		}
+		if rep.Count > 0 && rep.Offset > known {
+			_ = c.refreshPlacement(known)
+		}
+	}
 }
 
 // Close tears down every connection. In-flight operations fail with
 // client.ErrDisconnected.
 func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		if c.epochStop != nil {
+			close(c.epochStop)
+		}
+	})
 	c.ctrl.close()
 	c.poolMu.Lock()
 	stores := append([]*storeConn(nil), c.stores...)
@@ -220,12 +293,14 @@ func (c *Client) storeFor(name string) *storeConn {
 	return c.stores[si]
 }
 
-// storeConn owns one connection to the server and its reconnect loop.
+// storeConn owns one connection to one server process and its reconnect
+// loop.
 type storeConn struct {
 	c      *Client
 	mu     sync.Mutex
-	conn   *Conn // nil while disconnected
-	redial bool  // reconnect loop running
+	addr   string // server address this slot dials (can move on rebalance)
+	conn   *Conn  // nil while disconnected
+	redial bool   // reconnect loop running
 	closed bool
 	// ready broadcasts state changes to acquire waiters: it is an open
 	// channel while disconnected (replaced on every fault) and closed the
@@ -234,11 +309,35 @@ type storeConn struct {
 	ready chan struct{}
 }
 
-func newStoreConn(c *Client, conn *Conn) *storeConn {
+func newStoreConn(c *Client, conn *Conn, addr string) *storeConn {
 	mcConnections.Add(1)
 	ready := make(chan struct{})
 	close(ready) // born connected
-	return &storeConn{c: c, conn: conn, ready: ready}
+	return &storeConn{c: c, conn: conn, addr: addr, ready: ready}
+}
+
+// currentAddr returns the address this slot dials.
+func (sc *storeConn) currentAddr() string {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.addr
+}
+
+// setAddr re-points the slot at a new server address (placement refresh
+// after a rebalance or store replacement). The live connection to the old
+// address is faulted so the reconnect loop redials the new one.
+func (sc *storeConn) setAddr(addr string) {
+	sc.mu.Lock()
+	if sc.addr == addr || sc.closed {
+		sc.mu.Unlock()
+		return
+	}
+	sc.addr = addr
+	conn := sc.conn
+	sc.mu.Unlock()
+	if conn != nil {
+		sc.fault(conn)
+	}
 }
 
 func (sc *storeConn) close() {
@@ -261,6 +360,13 @@ func (sc *storeConn) close() {
 		mcConnections.Add(-1)
 		_ = conn.Close()
 	}
+}
+
+// isClosed reports whether the slot was closed for good.
+func (sc *storeConn) isClosed() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.closed
 }
 
 // current returns the live connection, or nil while disconnected.
@@ -312,9 +418,16 @@ func (sc *storeConn) reconnectLoop() {
 			sc.mu.Unlock()
 			return
 		}
+		addr := sc.addr
 		sc.mu.Unlock()
-		conn, err := sc.c.dialServer()
+		conn, err := sc.c.dialServer(addr)
 		if err == nil {
+			if sc.currentAddr() != addr {
+				// The slot moved while we were dialing: drop this connection
+				// and dial the new address instead.
+				_ = conn.Close()
+				continue
+			}
 			sc.mu.Lock()
 			sc.redial = false
 			if sc.closed {
@@ -358,7 +471,7 @@ func (sc *storeConn) acquire(ctx context.Context, deadline time.Time) (*Conn, er
 		}
 		wait := time.Until(deadline)
 		if wait <= 0 {
-			return nil, fmt.Errorf("wire: %s unreachable: %w", sc.c.addr, client.ErrDisconnected)
+			return nil, fmt.Errorf("wire: %s unreachable: %w", sc.currentAddr(), client.ErrDisconnected)
 		}
 		timer := time.NewTimer(wait)
 		select {
@@ -368,7 +481,7 @@ func (sc *storeConn) acquire(ctx context.Context, deadline time.Time) (*Conn, er
 			timer.Stop()
 			return nil, ctx.Err()
 		case <-timer.C:
-			return nil, fmt.Errorf("wire: %s unreachable: %w", sc.c.addr, client.ErrDisconnected)
+			return nil, fmt.Errorf("wire: %s unreachable: %w", sc.currentAddr(), client.ErrDisconnected)
 		}
 	}
 }

@@ -38,7 +38,7 @@ func TestAcquireWakesPromptlyOnReconnect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc := newStoreConn(c, conn)
+	sc := newStoreConn(c, conn, srv.Addr())
 	defer sc.close()
 	sc.fault(conn) // reconnect loop starts and blocks in the gated dial
 
@@ -85,7 +85,7 @@ func TestAcquireObservesClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc := newStoreConn(c, conn)
+	sc := newStoreConn(c, conn, srv.Addr())
 	sc.fault(conn)
 
 	got := make(chan error, 1)

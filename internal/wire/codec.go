@@ -117,6 +117,43 @@ func unmarshalReadReq(src []byte) (ReadReq, error) {
 	return req, nil
 }
 
+func (r *BookieReq) marshalBinary(dst []byte) []byte {
+	dst = appendUvarintBytes(dst, []byte(r.Bookie))
+	dst = binary.AppendVarint(dst, r.Ledger)
+	dst = binary.AppendVarint(dst, r.Entry)
+	dst = appendUvarintBytes(dst, r.Data)
+	return dst
+}
+
+// unmarshalBookieReq decodes a binary bookie request. Data is copied out of
+// src: the bookie journals the payload long after the connection's read
+// scratch has been reused.
+func unmarshalBookieReq(src []byte) (BookieReq, error) {
+	var req BookieReq
+	b, src, err := consumeUvarintBytes(src)
+	if err != nil {
+		return req, err
+	}
+	req.Bookie = string(b)
+	if req.Ledger, src, err = consumeVarint(src); err != nil {
+		return req, err
+	}
+	if req.Entry, src, err = consumeVarint(src); err != nil {
+		return req, err
+	}
+	data, src, err := consumeUvarintBytes(src)
+	if err != nil {
+		return req, err
+	}
+	if len(src) != 0 {
+		return req, fmt.Errorf("wire: %d trailing bookie bytes", len(src))
+	}
+	if len(data) > 0 {
+		req.Data = append([]byte(nil), data...)
+	}
+	return req, nil
+}
+
 func (r *Reply) marshalBinary(dst []byte) []byte {
 	dst = appendUvarintBytes(dst, []byte(r.Err))
 	dst = binary.AppendVarint(dst, int64(r.Code))
@@ -220,6 +257,16 @@ func writeRequest(w io.Writer, t MessageType, reqID uint64, body any) error {
 		default:
 			encPool.Put(bp)
 			return fmt.Errorf("wire: MsgRead body must be ReadReq, got %T", body)
+		}
+	case MsgBookieAdd, MsgBookieRead, MsgBookieFence, MsgBookieDeleteLedger:
+		switch req := body.(type) {
+		case BookieReq:
+			buf = req.marshalBinary(buf)
+		case *BookieReq:
+			buf = req.marshalBinary(buf)
+		default:
+			encPool.Put(bp)
+			return fmt.Errorf("wire: bookie body must be BookieReq, got %T", body)
 		}
 	default:
 		data, err := json.Marshal(body)

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/pravega-go/pravega/internal/bookkeeper"
 	"github.com/pravega-go/pravega/internal/client"
+	"github.com/pravega-go/pravega/internal/cluster"
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/segstore"
 	"github.com/pravega-go/pravega/internal/wal"
@@ -43,6 +45,20 @@ const (
 	codeSegmentNotSealed
 	// Dynamic placement (lease-based container ownership).
 	codeWrongHost
+	// Remote coordination store (cluster.Store over the wire).
+	codeNodeExists
+	codeNoNode
+	codeBadVersion
+	codeNotEmpty
+	codeSessionClosed
+	codeNoParent
+	// Remote bookies (bookkeeper.Node over the wire).
+	codeLedgerFenced
+	codeNoLedger
+	codeNoEntry
+	codeLedgerClosed
+	codeNotEnoughBookies
+	codeBookieDown
 )
 
 // codeSentinels maps codes to the sentinel errors they name, in both
@@ -77,6 +93,18 @@ var codeSentinels = []struct {
 	// same — refresh placement and re-route.
 	{codeWrongHost, client.ErrWrongHost},
 	{codeWrongHost, wal.ErrFenced},
+	{codeNodeExists, cluster.ErrNodeExists},
+	{codeNoNode, cluster.ErrNoNode},
+	{codeBadVersion, cluster.ErrBadVersion},
+	{codeNotEmpty, cluster.ErrNotEmpty},
+	{codeSessionClosed, cluster.ErrSessionClosed},
+	{codeNoParent, cluster.ErrNoParent},
+	{codeLedgerFenced, bookkeeper.ErrFenced},
+	{codeNoLedger, bookkeeper.ErrNoLedger},
+	{codeNoEntry, bookkeeper.ErrNoEntry},
+	{codeLedgerClosed, bookkeeper.ErrLedgerClosed},
+	{codeNotEnoughBookies, bookkeeper.ErrNotEnough},
+	{codeBookieDown, bookkeeper.ErrBookieDown},
 }
 
 // ErrCode returns the wire code for an error's sentinel, or codeNone when

@@ -1,0 +1,335 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/pravega-go/pravega/internal/client"
+	"github.com/pravega-go/pravega/internal/cluster"
+	"github.com/pravega-go/pravega/internal/controller"
+	"github.com/pravega-go/pravega/internal/keyspace"
+	"github.com/pravega-go/pravega/internal/segment"
+	"github.com/pravega-go/pravega/internal/segstore"
+)
+
+// StoreBackend adapts one segstore.Store to the wire server's DataBackend,
+// for store-role processes that host a single store. Requests for a
+// container this store doesn't own answer with client.ErrWrongHost (NOT
+// ErrWrongContainer: the external client's cure is a placement refresh, and
+// the wire code for wrong-container would send it down the wrong path).
+type StoreBackend struct {
+	St *segstore.Store
+}
+
+var _ DataBackend = StoreBackend{}
+
+// notHosted rewrites a local wrong-container error as a wire wrong-host:
+// %v flattens the old chain so only ErrWrongHost is matchable.
+func notHosted(err error) error {
+	if err != nil && errors.Is(err, segstore.ErrWrongContainer) {
+		return fmt.Errorf("%v: %w", err, client.ErrWrongHost)
+	}
+	return err
+}
+
+func (b StoreBackend) ContainerFor(name string) (*segstore.Container, error) {
+	c, err := b.St.Container(name)
+	return c, notHosted(err)
+}
+
+func (b StoreBackend) CreateSegment(name string) error {
+	return notHosted(b.St.CreateSegment(name))
+}
+
+func (b StoreBackend) SealSegment(name string) (int64, error) {
+	n, err := b.St.Seal(name)
+	return n, notHosted(err)
+}
+
+func (b StoreBackend) TruncateSegment(name string, offset int64) error {
+	return notHosted(b.St.Truncate(name, offset))
+}
+
+func (b StoreBackend) DeleteSegment(name string) error {
+	return notHosted(b.St.DeleteSegment(name))
+}
+
+func (b StoreBackend) MergeSegmentAt(target, source string) (int64, error) {
+	n, err := b.St.MergeSegment(target, source)
+	return n, notHosted(err)
+}
+
+func (b StoreBackend) SegmentInfo(name string) (segment.Info, error) {
+	info, err := b.St.GetInfo(name)
+	return info, notHosted(err)
+}
+
+// RemotePlane is the coord process's data plane: it satisfies
+// controller.DataPlane by resolving each segment's owning store through the
+// (local) coordination store and forwarding the operation to that store
+// process over the wire. Connections are cached per address and reconnect
+// in the background like any other wire connection.
+type RemotePlane struct {
+	meta  *cluster.Store
+	total int
+	cfg   ClientConfig
+	c     *Client // dialer/config holder shared by every cached conn
+
+	mu    sync.Mutex
+	conns map[string]*storeConn
+}
+
+var _ controller.DataPlane = (*RemotePlane)(nil)
+
+// NewRemotePlane builds a data plane over the given coordination store.
+func NewRemotePlane(meta *cluster.Store, totalContainers int, cfg ClientConfig) *RemotePlane {
+	cfg.defaults()
+	return &RemotePlane{
+		meta:  meta,
+		total: totalContainers,
+		cfg:   cfg,
+		c:     &Client{cfg: cfg},
+		conns: make(map[string]*storeConn),
+	}
+}
+
+// Close tears down every cached store connection.
+func (p *RemotePlane) Close() {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = make(map[string]*storeConn)
+	p.mu.Unlock()
+	for _, sc := range conns {
+		sc.close()
+	}
+}
+
+func (p *RemotePlane) getConn(addr string) (*storeConn, error) {
+	p.mu.Lock()
+	if sc, ok := p.conns[addr]; ok {
+		p.mu.Unlock()
+		return sc, nil
+	}
+	p.mu.Unlock()
+	conn, err := p.c.dialServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if sc, ok := p.conns[addr]; ok {
+		p.mu.Unlock()
+		_ = conn.Close()
+		return sc, nil
+	}
+	sc := newStoreConn(p.c, conn, addr)
+	p.conns[addr] = sc
+	p.mu.Unlock()
+	return sc, nil
+}
+
+// containerOf mirrors the store-side routing hash.
+func (p *RemotePlane) containerOf(name string) int {
+	return keyspace.HashToContainer(segment.RoutingName(name), p.total)
+}
+
+// ownerAddr resolves the wire address of the store owning name's container.
+// cluster.ErrNoNode means the container is unowned right now (mid-failover).
+func (p *RemotePlane) ownerAddr(name string) (string, error) {
+	host, err := segstore.ContainerOwner(p.meta, p.containerOf(name))
+	if err != nil {
+		return "", err
+	}
+	addr, err := segstore.HostAddr(p.meta, host)
+	if err != nil {
+		return "", err
+	}
+	if addr == "" {
+		return "", fmt.Errorf("wire: host %s advertised no address", host)
+	}
+	return addr, nil
+}
+
+// transientPlane reports errors worth re-resolving ownership for: unowned
+// containers (failover in progress), stale claims, and transport loss.
+func transientPlane(err error) bool {
+	return errors.Is(err, cluster.ErrNoNode) ||
+		errors.Is(err, client.ErrWrongHost) ||
+		errors.Is(err, segstore.ErrWrongContainer) ||
+		errors.Is(err, segstore.ErrContainerDown) ||
+		isDisconnect(err)
+}
+
+// planeCall forwards one operation to the current owner of name's
+// container, re-resolving and retrying transient placement errors within
+// the sync retry window. ambiguous reports whether any attempt died on a
+// lost connection after the request may have been applied — callers with
+// non-idempotent operations use it to resolve lost acks.
+func (p *RemotePlane) planeCall(name string, t MessageType, body any) (rep Reply, ambiguous bool, err error) {
+	deadline := time.Now().Add(p.cfg.SyncRetryWindow)
+	backoff := 5 * time.Millisecond
+	for {
+		var addr string
+		addr, err = p.ownerAddr(name)
+		if err == nil {
+			var sc *storeConn
+			sc, err = p.getConn(addr)
+			if err == nil {
+				var conn *Conn
+				conn, err = sc.acquire(nil, deadline)
+				if err == nil {
+					rep, err = conn.Call(t, body)
+					if err == nil || !transientPlane(err) {
+						return rep, ambiguous, err
+					}
+					if isDisconnect(err) {
+						// The request was on the wire: its outcome is unknown.
+						ambiguous = true
+						sc.fault(conn)
+					}
+				}
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return rep, ambiguous, err
+		}
+		time.Sleep(backoff)
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// --- controller.DataPlane ---
+
+func (p *RemotePlane) CreateSegment(name string) error {
+	_, ambiguous, err := p.planeCall(name, MsgCreateSegment, SegmentReq{Segment: name})
+	if ambiguous && errors.Is(err, segstore.ErrSegmentExists) {
+		// A lost ack on an earlier attempt created it; this create succeeded.
+		return nil
+	}
+	return err
+}
+
+func (p *RemotePlane) SealSegment(name string) (int64, error) {
+	rep, _, err := p.planeCall(name, MsgSeal, SegmentReq{Segment: name})
+	if err != nil {
+		return 0, err
+	}
+	return rep.Offset, nil
+}
+
+func (p *RemotePlane) TruncateSegment(name string, offset int64) error {
+	_, _, err := p.planeCall(name, MsgTruncate, SegmentReq{Segment: name, Offset: offset})
+	return err
+}
+
+func (p *RemotePlane) DeleteSegment(name string) error {
+	_, ambiguous, err := p.planeCall(name, MsgDeleteSegment, SegmentReq{Segment: name})
+	if ambiguous && errors.Is(err, segstore.ErrSegmentNotFound) {
+		return nil
+	}
+	return err
+}
+
+// MergeSegment commits a transaction segment into its parent. Both route by
+// the parent's name, so one store owns the pair and the merge is a single
+// forwarded operation. A missing source after an ambiguous attempt means an
+// earlier try committed (lost ack) — the merge is treated as applied, the
+// same resolution the external client's MergeSegment uses.
+func (p *RemotePlane) MergeSegment(target, source string) error {
+	_, ambiguous, err := p.planeCall(target, MsgMergeSegments, MergeReq{Target: target, Source: source})
+	if ambiguous && errors.Is(err, segstore.ErrSegmentNotFound) {
+		return nil
+	}
+	return err
+}
+
+func (p *RemotePlane) SegmentInfo(name string) (segment.Info, error) {
+	rep, _, err := p.planeCall(name, MsgGetInfo, SegmentReq{Segment: name})
+	if err != nil {
+		return segment.Info{}, err
+	}
+	var info segment.Info
+	if err := json.Unmarshal(rep.JSON, &info); err != nil {
+		return segment.Info{}, fmt.Errorf("wire: segment info: %w", err)
+	}
+	return info, nil
+}
+
+func (p *RemotePlane) OwnerOf(name string) (string, error) {
+	return segstore.ContainerOwner(p.meta, p.containerOf(name))
+}
+
+// LoadReports polls every live store for its per-segment rates. Unreachable
+// stores are skipped — a partial report only delays scaling decisions.
+func (p *RemotePlane) LoadReports() []segstore.SegmentLoad {
+	ids, addrs, err := segstore.LiveHosts(p.meta)
+	if err != nil {
+		return nil
+	}
+	var out []segstore.SegmentLoad
+	for _, h := range ids {
+		addr := addrs[h]
+		if addr == "" {
+			continue
+		}
+		sc, err := p.getConn(addr)
+		if err != nil {
+			continue
+		}
+		conn := sc.current()
+		if conn == nil {
+			continue // reconnecting: skip rather than stall the policy tick
+		}
+		rep, err := conn.Call(MsgLoadReport, struct{}{})
+		if err != nil {
+			if isDisconnect(err) {
+				sc.fault(conn)
+			}
+			continue
+		}
+		var loads []segstore.SegmentLoad
+		if json.Unmarshal(rep.JSON, &loads) == nil {
+			out = append(out, loads...)
+		}
+	}
+	return out
+}
+
+// CoordClusterInfo snapshots placement for client routing in the
+// multi-process cluster: store identities are the sorted live host ids,
+// StoreAddrs carries each one's advertised address, and ContainerHome maps
+// containers to store indices. Hosts and their claims share a session, so
+// a dead store's address and its claims vanish together.
+func CoordClusterInfo(cs cluster.Coord, totalContainers int) (ClusterInfo, error) {
+	ids, addrs, err := segstore.LiveHosts(cs)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	claims, err := segstore.ClaimedContainers(cs)
+	if err != nil {
+		return ClusterInfo{}, err
+	}
+	idx := make(map[string]int, len(ids))
+	storeAddrs := make([]string, len(ids))
+	for i, h := range ids {
+		idx[h] = i
+		storeAddrs[i] = addrs[h]
+	}
+	home := make(map[int]int, len(claims))
+	for cid, host := range claims {
+		if i, ok := idx[host]; ok {
+			home[cid] = i
+		}
+	}
+	return ClusterInfo{
+		TotalContainers: totalContainers,
+		Stores:          len(ids),
+		ContainerHome:   home,
+		StoreAddrs:      storeAddrs,
+		Epoch:           segstore.PlacementEpoch(cs),
+	}, nil
+}

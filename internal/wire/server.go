@@ -4,14 +4,18 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"github.com/pravega-go/pravega/internal/bookkeeper"
+	"github.com/pravega-go/pravega/internal/cluster"
 	"github.com/pravega-go/pravega/internal/controller"
 	"github.com/pravega-go/pravega/internal/hosting"
 	"github.com/pravega-go/pravega/internal/obs"
+	"github.com/pravega-go/pravega/internal/segment"
 	"github.com/pravega-go/pravega/internal/segstore"
 )
 
@@ -29,29 +33,97 @@ var (
 		"Payload bytes returned to read requests")
 )
 
-// Server exposes a Pravega node — the data plane of a hosted cluster plus
-// its control plane — over TCP. It is decoupled from the public client
+// DataBackend is the segment data plane a server exposes: the in-process
+// hosting.Cluster satisfies it directly, and StoreBackend adapts a single
+// segstore.Store for store-role processes.
+type DataBackend interface {
+	ContainerFor(segmentName string) (*segstore.Container, error)
+	CreateSegment(name string) error
+	SealSegment(name string) (int64, error)
+	TruncateSegment(name string, offset int64) error
+	DeleteSegment(name string) error
+	MergeSegmentAt(target, source string) (int64, error)
+	SegmentInfo(name string) (segment.Info, error)
+}
+
+// ServerConfig selects which planes a server process exposes. Every backend
+// is optional: a coord-role process sets Coord, Bookies and Ctrl; a
+// store-role process sets Data and Load; the classic single-process server
+// sets everything. Requests for an absent plane get an error reply.
+type ServerConfig struct {
+	// Data serves segment operations (append/read/seal/...).
+	Data DataBackend
+	// Ctrl serves the stream control plane.
+	Ctrl *controller.Controller
+	// Coord serves the coordination store remotely (MsgCoord*). It must be
+	// the concrete store: sessions opened over the wire live here.
+	Coord *cluster.Store
+	// Bookies are the WAL bookies served remotely (MsgBookie*), by id.
+	Bookies map[string]bookkeeper.Node
+	// Info answers MsgClusterInfo (placement snapshot for client routing).
+	Info func() (ClusterInfo, error)
+	// Load answers MsgLoadReport (per-segment rates of this node's store).
+	Load func() []segstore.SegmentLoad
+}
+
+// Server exposes a Pravega node — any subset of data, control, coordination
+// and WAL planes — over TCP. It is decoupled from the public client
 // package: pravega.Connect dials it through the same wire protocol any
 // external client would use.
 type Server struct {
-	cl   *hosting.Cluster
-	ctrl *controller.Controller
-	ln   net.Listener
+	cfg ServerConfig
+	ln  net.Listener
 
 	mu     sync.Mutex
 	closed bool
 	conns  map[net.Conn]struct{}
 	wg     sync.WaitGroup
+
+	// coordSessions holds wire-opened coordination sessions by id. They are
+	// deliberately NOT tied to any connection: a dropped connection is not a
+	// dropped session (ZooKeeper's rule) — only TTL expiry or an explicit
+	// close ends one, so a store process can lose its TCP link, reconnect,
+	// and renew the same session as long as the lease hasn't lapsed.
+	coordMu       sync.Mutex
+	coordSessions map[int64]*cluster.Session
 }
 
-// NewServer starts listening on addr, serving the given cluster and
-// controller (both stay owned by the caller).
+// errNotServed replies to requests for a plane this process doesn't host.
+func errNotServed(plane string) Reply {
+	return Reply{Err: fmt.Sprintf("wire: %s plane not served on this node", plane)}
+}
+
+// NewServer starts a single-process server exposing every plane of the
+// hosted cluster: data, control, coordination and placement-epoch watches.
 func NewServer(cl *hosting.Cluster, ctrl *controller.Controller, addr string) (*Server, error) {
+	return NewServerWith(ServerConfig{
+		Data:  cl,
+		Ctrl:  ctrl,
+		Coord: cl.Meta,
+		Info: func() (ClusterInfo, error) {
+			return ClusterInfo{
+				TotalContainers: cl.TotalContainers(),
+				Stores:          len(cl.Stores()),
+				ContainerHome:   cl.ContainerHomes(),
+				Epoch:           cl.PlacementEpoch(),
+			}, nil
+		},
+		Load: cl.LoadReports,
+	}, addr)
+}
+
+// NewServerWith starts listening on addr with an explicit plane selection.
+func NewServerWith(cfg ServerConfig, addr string) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{cl: cl, ctrl: ctrl, ln: ln, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		cfg:           cfg,
+		ln:            ln,
+		conns:         make(map[net.Conn]struct{}),
+		coordSessions: make(map[int64]*cluster.Session),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -291,7 +363,11 @@ func (s *Server) serve(conn net.Conn) {
 				rw.send(id, errReply(err, Reply{}), true)
 				continue
 			}
-			cont, err := s.cl.ContainerFor(req.Segment)
+			if s.cfg.Data == nil {
+				rw.send(id, errNotServed("data"), true)
+				continue
+			}
+			cont, err := s.cfg.Data.ContainerFor(req.Segment)
 			if err != nil {
 				rw.send(id, errReply(err, Reply{}), true)
 				continue
@@ -318,6 +394,10 @@ func (s *Server) serve(conn net.Conn) {
 			req, err := unmarshalReadReq(body)
 			if err != nil {
 				rw.send(id, errReply(err, Reply{}), true)
+				continue
+			}
+			if s.cfg.Data == nil {
+				rw.send(id, errNotServed("data"), true)
 				continue
 			}
 			if req.WaitMS <= 0 {
@@ -348,6 +428,75 @@ func (s *Server) serve(conn net.Conn) {
 				reads.cancel(req.ReqID)
 			}
 			rw.send(id, Reply{}, false)
+		case MsgBookieAdd:
+			// Adds are the WAL hot path: decoded and enqueued synchronously
+			// (preserving the connection's FIFO order into the bookie's group
+			// commit), with the bookie's own completion callback delivering
+			// the ack straight into the reply queue.
+			req, err := unmarshalBookieReq(body)
+			if err != nil {
+				rw.send(id, errReply(err, Reply{}), true)
+				continue
+			}
+			n := s.bookie(req.Bookie)
+			if n == nil {
+				rw.send(id, errReply(fmt.Errorf("wire: unknown bookie %q: %w", req.Bookie, bookkeeper.ErrBookieDown), Reply{}), true)
+				continue
+			}
+			n.AddEntry(req.Ledger, req.Entry, req.Data, func(err error) {
+				rw.send(id, errReply(err, Reply{}), true)
+			})
+		case MsgBookieRead, MsgBookieFence, MsgBookieDeleteLedger:
+			req, err := unmarshalBookieReq(body)
+			if err != nil {
+				rw.send(id, errReply(err, Reply{}), true)
+				continue
+			}
+			reqWG.Add(1)
+			go func(t MessageType, id uint64, req BookieReq) {
+				defer reqWG.Done()
+				rw.send(id, s.handleBookie(t, req), true)
+			}(t, id, req)
+		case MsgCoordWatchData, MsgCoordWatchChildren:
+			var req CoordReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				rw.send(id, errReply(err, Reply{}), false)
+				continue
+			}
+			if s.cfg.Coord == nil {
+				rw.send(id, errNotServed("coord"), false)
+				continue
+			}
+			// Watches are long polls: cancellable like tail reads so a
+			// dropped connection (or MsgCancelRead) unblocks them.
+			ctx, cancel := context.WithCancel(context.Background())
+			h := reads.add(id, cancel)
+			reqWG.Add(1)
+			go func(t MessageType, id uint64, req CoordReq) {
+				defer reqWG.Done()
+				defer reads.remove(id, h)
+				defer cancel()
+				rw.send(id, s.handleCoordWatch(ctx, t, req), false)
+			}(t, id, req)
+		case MsgWatchEpoch:
+			var req EpochReq
+			if err := json.Unmarshal(body, &req); err != nil {
+				rw.send(id, errReply(err, Reply{}), false)
+				continue
+			}
+			if s.cfg.Coord == nil {
+				rw.send(id, errNotServed("coord"), false)
+				continue
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			h := reads.add(id, cancel)
+			reqWG.Add(1)
+			go func(id uint64, req EpochReq) {
+				defer reqWG.Done()
+				defer reads.remove(id, h)
+				defer cancel()
+				rw.send(id, s.handleWatchEpoch(ctx, req), false)
+			}(id, req)
 		default:
 			bodyCopy := append([]byte(nil), body...)
 			reqWG.Add(1)
@@ -362,7 +511,7 @@ func (s *Server) serve(conn net.Conn) {
 // handleRead serves a (long-poll) segment read. Cancelling ctx unblocks a
 // tail wait immediately.
 func (s *Server) handleRead(ctx context.Context, req ReadReq) Reply {
-	cont, err := s.cl.ContainerFor(req.Segment)
+	cont, err := s.cfg.Data.ContainerFor(req.Segment)
 	if err != nil {
 		return errReply(err, Reply{})
 	}
@@ -375,7 +524,6 @@ func (s *Server) handleRead(ctx context.Context, req ReadReq) Reply {
 	return Reply{Data: res.Data, Offset: res.Offset, EOS: res.EndOfSegment}
 }
 
-
 // jsonReply marshals v into a JSON reply, surfacing a marshal failure as an
 // error reply instead of silently returning an empty body.
 func jsonReply(v any, count int) Reply {
@@ -387,8 +535,36 @@ func jsonReply(v any, count int) Reply {
 }
 
 func (s *Server) handle(t MessageType, body []byte) Reply {
-	cl := s.cl
-	ctrl := s.ctrl
+	cl := s.cfg.Data
+	ctrl := s.cfg.Ctrl
+	switch t {
+	case MsgCreateSegment, MsgSeal, MsgTruncate, MsgDeleteSegment,
+		MsgGetInfo, MsgWriterState, MsgMergeSegments:
+		if cl == nil {
+			return errNotServed("data")
+		}
+	case MsgCreateScope, MsgCreateStream, MsgActiveSegments, MsgSuccessors,
+		MsgHeadSegments, MsgScale, MsgScaleSegments, MsgSealStream,
+		MsgTruncateStream, MsgDeleteStream, MsgStreamConfig,
+		MsgUpdatePolicies, MsgIsSealed, MsgSegmentCount,
+		MsgBeginTxn, MsgCommitTxn, MsgAbortTxn, MsgTxnStatus:
+		if ctrl == nil {
+			return errNotServed("control")
+		}
+	case MsgCoordCreate, MsgCoordGet, MsgCoordSet, MsgCoordDelete,
+		MsgCoordChildren, MsgCoordExists, MsgCoordSessionOpen,
+		MsgCoordSessionRenew, MsgCoordSessionClose:
+		if s.cfg.Coord == nil {
+			return errNotServed("coord")
+		}
+		return s.handleCoord(t, body)
+	case MsgLoadReport:
+		if s.cfg.Load == nil {
+			return errNotServed("load")
+		}
+		loads := s.cfg.Load()
+		return jsonReply(loads, len(loads))
+	}
 	switch t {
 	case MsgCreateSegment:
 		var req SegmentReq
@@ -607,14 +783,231 @@ func (s *Server) handle(t MessageType, body []byte) Reply {
 		off, err := cl.MergeSegmentAt(req.Target, req.Source)
 		return errReply(err, Reply{Offset: off})
 	case MsgClusterInfo:
-		info := ClusterInfo{
-			TotalContainers: cl.TotalContainers(),
-			Stores:          len(cl.Stores()),
-			ContainerHome:   cl.ContainerHomes(),
-			Epoch:           cl.PlacementEpoch(),
+		if s.cfg.Info == nil {
+			return errNotServed("cluster info")
+		}
+		info, err := s.cfg.Info()
+		if err != nil {
+			return errReply(err, Reply{})
 		}
 		return jsonReply(info, 0)
 	default:
 		return Reply{Err: fmt.Sprintf("wire: unknown request type %d", t)}
+	}
+}
+
+// coordSession resolves a wire session id. Expired sessions were already
+// reaped (or will fail their next Renew), so an unknown id IS a closed
+// session as far as the client can tell.
+func (s *Server) coordSession(id int64) (*cluster.Session, error) {
+	s.coordMu.Lock()
+	sess := s.coordSessions[id]
+	s.coordMu.Unlock()
+	if sess == nil {
+		return nil, fmt.Errorf("wire: session %d: %w", id, cluster.ErrSessionClosed)
+	}
+	return sess, nil
+}
+
+// handleCoord serves the non-blocking coordination-store operations. Blocking
+// watches go through handleCoordWatch on the long-poll path instead.
+func (s *Server) handleCoord(t MessageType, body []byte) Reply {
+	cs := s.cfg.Coord
+	var req CoordReq
+	if err := json.Unmarshal(body, &req); err != nil {
+		return errReply(err, Reply{})
+	}
+	switch t {
+	case MsgCoordCreate:
+		if req.SessionID != 0 {
+			sess, err := s.coordSession(req.SessionID)
+			if err != nil {
+				return errReply(err, Reply{})
+			}
+			return errReply(sess.CreateEphemeral(req.Path, req.Data), Reply{})
+		}
+		if req.All {
+			return errReply(cs.CreateAll(req.Path, req.Data), Reply{})
+		}
+		return errReply(cs.Create(req.Path, req.Data), Reply{})
+	case MsgCoordGet:
+		data, st, err := cs.Get(req.Path)
+		if err != nil {
+			return errReply(err, Reply{})
+		}
+		return jsonReply(CoordRep{
+			Data: data, Version: st.Version, CVersion: st.CVersion,
+			Ephemeral: st.Ephemeral, Owner: st.Owner,
+		}, 0)
+	case MsgCoordSet:
+		st, err := cs.Set(req.Path, req.Data, req.Version)
+		if err != nil {
+			return errReply(err, Reply{})
+		}
+		return jsonReply(CoordRep{Version: st.Version, CVersion: st.CVersion}, 0)
+	case MsgCoordDelete:
+		return errReply(cs.Delete(req.Path, req.Version), Reply{})
+	case MsgCoordChildren:
+		names, err := cs.Children(req.Path)
+		if err != nil {
+			return errReply(err, Reply{})
+		}
+		return jsonReply(CoordRep{Children: names}, len(names))
+	case MsgCoordExists:
+		if cs.Exists(req.Path) {
+			return Reply{Count: 1}
+		}
+		return Reply{}
+	case MsgCoordSessionOpen:
+		sess := cs.NewSessionTTL(time.Duration(req.TTLMS) * time.Millisecond)
+		s.coordMu.Lock()
+		s.coordSessions[sess.ID()] = sess
+		s.coordMu.Unlock()
+		return Reply{Offset: sess.ID()}
+	case MsgCoordSessionRenew:
+		sess, err := s.coordSession(req.SessionID)
+		if err != nil {
+			return errReply(err, Reply{})
+		}
+		if err := sess.Renew(); err != nil {
+			s.coordMu.Lock()
+			delete(s.coordSessions, req.SessionID)
+			s.coordMu.Unlock()
+			return errReply(err, Reply{})
+		}
+		return Reply{}
+	case MsgCoordSessionClose:
+		s.coordMu.Lock()
+		sess := s.coordSessions[req.SessionID]
+		delete(s.coordSessions, req.SessionID)
+		s.coordMu.Unlock()
+		if sess != nil {
+			sess.Close()
+		}
+		return Reply{}
+	default:
+		return Reply{Err: fmt.Sprintf("wire: unknown coord request type %d", t)}
+	}
+}
+
+// coordWatchMaxWait bounds a server-side watch long poll. On expiry the
+// server answers Count=0 ("nothing happened, re-arm") so a one-shot watch
+// registration can't leak forever when its client loses interest.
+const coordWatchMaxWait = 30 * time.Second
+
+func coordEvent(t cluster.EventType, path string) Reply {
+	return jsonReply(CoordRep{EventType: int(t), EventPath: path}, 1)
+}
+
+// handleCoordWatch serves a data or children watch as a long poll. The
+// client sends the version it last observed (KnownVersion); the watch is
+// armed FIRST and only then compared against the current state, so a change
+// racing the arm is reported, never lost — this is what lets a client
+// re-arm after a reconnect without a missed-event window.
+func (s *Server) handleCoordWatch(ctx context.Context, t MessageType, req CoordReq) Reply {
+	cs := s.cfg.Coord
+	var ch <-chan cluster.Event
+	var err error
+	if t == MsgCoordWatchData {
+		ch, err = cs.WatchData(req.Path)
+	} else {
+		ch, err = cs.WatchChildren(req.Path)
+	}
+	if err != nil {
+		if errors.Is(err, cluster.ErrNoNode) && t == MsgCoordWatchData {
+			// The node vanished between the client's Get and this watch:
+			// that IS the event the client is waiting for.
+			return coordEvent(cluster.EventDeleted, req.Path)
+		}
+		return errReply(err, Reply{})
+	}
+	_, st, gerr := cs.Get(req.Path)
+	if gerr != nil {
+		if errors.Is(gerr, cluster.ErrNoNode) && t == MsgCoordWatchData {
+			return coordEvent(cluster.EventDeleted, req.Path)
+		}
+		return errReply(gerr, Reply{})
+	}
+	cur, evType := st.Version, cluster.EventChanged
+	if t == MsgCoordWatchChildren {
+		cur, evType = st.CVersion, cluster.EventChildren
+	}
+	if req.KnownVersion >= 0 && cur != req.KnownVersion {
+		return coordEvent(evType, req.Path)
+	}
+	timer := time.NewTimer(coordWatchMaxWait)
+	defer timer.Stop()
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			return coordEvent(evType, req.Path)
+		}
+		return coordEvent(ev.Type, ev.Path)
+	case <-timer.C:
+		return Reply{} // Count 0: nothing fired, client re-arms
+	case <-ctx.Done():
+		return errReply(ctx.Err(), Reply{})
+	}
+}
+
+// handleWatchEpoch long-polls the placement epoch: it replies as soon as the
+// epoch exceeds the client's known value, or with the current value after
+// the max wait (Count mirrors whether it advanced).
+func (s *Server) handleWatchEpoch(ctx context.Context, req EpochReq) Reply {
+	cs := s.cfg.Coord
+	deadline := time.Now().Add(coordWatchMaxWait)
+	for {
+		ch, err := segstore.WatchPlacementEpoch(cs)
+		if err != nil {
+			return errReply(err, Reply{})
+		}
+		cur := segstore.PlacementEpoch(cs)
+		if cur > req.Known {
+			return Reply{Offset: cur, Count: 1}
+		}
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return Reply{Offset: cur}
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ch:
+		case <-timer.C:
+			timer.Stop()
+			return Reply{Offset: segstore.PlacementEpoch(cs)}
+		case <-ctx.Done():
+			timer.Stop()
+			return errReply(ctx.Err(), Reply{})
+		}
+		timer.Stop()
+	}
+}
+
+// bookie resolves a served bookie by id, nil when absent.
+func (s *Server) bookie(id string) bookkeeper.Node {
+	if s.cfg.Bookies == nil {
+		return nil
+	}
+	return s.cfg.Bookies[id]
+}
+
+// handleBookie serves the non-append bookie operations (binary replies, like
+// the rest of the bookie plane).
+func (s *Server) handleBookie(t MessageType, req BookieReq) Reply {
+	n := s.bookie(req.Bookie)
+	if n == nil {
+		return errReply(fmt.Errorf("wire: unknown bookie %q: %w", req.Bookie, bookkeeper.ErrBookieDown), Reply{})
+	}
+	switch t {
+	case MsgBookieRead:
+		data, err := n.ReadEntry(req.Ledger, req.Entry)
+		return errReply(err, Reply{Data: data})
+	case MsgBookieFence:
+		last, err := n.Fence(req.Ledger)
+		return errReply(err, Reply{Offset: last})
+	case MsgBookieDeleteLedger:
+		return errReply(n.DeleteLedger(req.Ledger), Reply{})
+	default:
+		return Reply{Err: fmt.Sprintf("wire: unknown bookie request type %d", t)}
 	}
 }

@@ -67,6 +67,29 @@ const (
 	MsgAbortTxn
 	MsgTxnStatus
 	MsgMergeSegments
+	// Remote coordination store (the coord role serves internal/cluster the
+	// way Pravega's segment stores reach an external ZooKeeper, §2.2/§4.4).
+	MsgCoordCreate
+	MsgCoordGet
+	MsgCoordSet
+	MsgCoordDelete
+	MsgCoordChildren
+	MsgCoordExists
+	MsgCoordWatchData
+	MsgCoordWatchChildren
+	MsgCoordSessionOpen
+	MsgCoordSessionRenew
+	MsgCoordSessionClose
+	// Remote bookies (the coord role hosts the WAL ensemble so acked data
+	// survives any store process's death).
+	MsgBookieAdd
+	MsgBookieRead
+	MsgBookieFence
+	MsgBookieDeleteLedger
+	// Placement-epoch long poll (clients re-resolve placement proactively)
+	// and per-store load reports (controller scaling feedback).
+	MsgWatchEpoch
+	MsgLoadReport
 )
 
 // Every message is preceded by a fixed header: 4-byte body length, 1-byte
@@ -253,6 +276,62 @@ type ClusterInfo struct {
 	// wrong-host reply means the table is stale and the client should
 	// re-request ClusterInfo until Epoch moves past the one it holds.
 	Epoch int64 `json:"epoch,omitempty"`
+	// StoreAddrs maps store index -> wire address for multi-process
+	// clusters, aligned with ContainerHome's indices (both derive from one
+	// snapshot of the live-host list). Empty for single-process servers:
+	// every store index then dials the address the client connected to.
+	StoreAddrs []string `json:"storeAddrs,omitempty"`
+}
+
+// CoordReq addresses the remote coordination store. One body shape serves
+// every coord message; unused fields are omitted on the wire.
+type CoordReq struct {
+	Path string `json:"path,omitempty"`
+	Data []byte `json:"data,omitempty"`
+	// Version is the CAS guard for Set/Delete (-1 = unconditional).
+	Version int64 `json:"version,omitempty"`
+	// All makes Create behave like CreateAll (mkdir -p), saving a round
+	// trip per ancestor.
+	All bool `json:"all,omitempty"`
+	// SessionID scopes ephemeral creates and session renew/close.
+	SessionID int64 `json:"sessionId,omitempty"`
+	// TTLMS is the session lease for MsgCoordSessionOpen.
+	TTLMS int64 `json:"ttlMs,omitempty"`
+	// KnownVersion is the watch baseline: the data version (WatchData) or
+	// child version (WatchChildren) the client last observed. The server
+	// replies immediately when current state already differs — this is what
+	// keeps a watch sound across client reconnects.
+	KnownVersion int64 `json:"knownVersion,omitempty"`
+}
+
+// CoordRep is the JSON payload of coord replies that carry node state.
+type CoordRep struct {
+	Data      []byte   `json:"data,omitempty"`
+	Version   int64    `json:"version"`
+	CVersion  int64    `json:"cversion,omitempty"`
+	Ephemeral bool     `json:"ephemeral,omitempty"`
+	Owner     int64    `json:"owner,omitempty"`
+	Children  []string `json:"children,omitempty"`
+	// EventType/EventPath carry the fired watch event (Count=1 on the
+	// enclosing Reply distinguishes "event fired" from "max wait elapsed,
+	// re-arm").
+	EventType int    `json:"eventType,omitempty"`
+	EventPath string `json:"eventPath,omitempty"`
+}
+
+// BookieReq addresses one bookie hosted by the coord process.
+type BookieReq struct {
+	Bookie string `json:"bookie"`
+	Ledger int64  `json:"ledger"`
+	Entry  int64  `json:"entry,omitempty"`
+	Data   []byte `json:"data,omitempty"`
+}
+
+// EpochReq is the placement-epoch long poll: the server replies once the
+// epoch exceeds Known (or its max poll window elapses, returning the
+// current epoch either way in Reply.Offset).
+type EpochReq struct {
+	Known int64 `json:"known"`
 }
 
 // Reply is the uniform response body. Code carries the error's sentinel
